@@ -1,0 +1,70 @@
+// Theorem E.1 reproduction: cache-agnostic bitonic sort vs the naive
+// fork-join parallelization.
+//
+// Claims: equal comparator counts (same network); span O(log^2 n loglog n)
+// vs O(log^3 n); cache O((n/B) log_M n log(n/M)) vs O((n/B) log^2 n).
+// The span and cache ratios naive/cache-agnostic should grow with n.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obl/bitonic.hpp"
+#include "obl/bitonic_ca.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace dopar;
+  std::printf("Bitonic sort variants (Theorem E.1)\n");
+  bench::print_header(
+      "n sweep", "ratios naive/ca should grow; comparators identical");
+  for (size_t n : {1u << 10, 1u << 12, 1u << 14, 1u << 16}) {
+    util::Rng rng(n);
+    std::vector<obl::Elem> in(n);
+    for (size_t i = 0; i < n; ++i) in[i].key = rng();
+    auto ca = bench::measure([&] {
+      vec<obl::Elem> v(in);
+      obl::bitonic_sort_ca(v.s());
+    });
+    auto naive = bench::measure([&] {
+      vec<obl::Elem> v(in);
+      obl::bitonic_sort_layerwise(v.s());
+    });
+    std::printf(
+        "n=%-7zu ca   S=%-8llu Q=%-9llu | naive S=%-8llu Q=%-10llu | "
+        "S ratio=%.2f Q ratio=%.2f (comparators=%llu)\n",
+        n, (unsigned long long)ca.span, (unsigned long long)ca.misses,
+        (unsigned long long)naive.span, (unsigned long long)naive.misses,
+        double(naive.span) / double(ca.span),
+        double(naive.misses) / double(ca.misses),
+        (unsigned long long)obl::bitonic_comparator_count(n));
+  }
+
+  bench::print_header("(M, B) sweep at n = 2^14",
+                      "cache-agnostic: no code change across cache shapes");
+  constexpr size_t n = 1 << 14;
+  util::Rng rng(n);
+  std::vector<obl::Elem> in(n);
+  for (size_t i = 0; i < n; ++i) in[i].key = rng();
+  for (auto [M, B] : std::vector<std::pair<uint64_t, uint64_t>>{
+           {64 * 1024, 64}, {256 * 1024, 64}, {1024 * 1024, 64}}) {
+    auto ca = bench::measure(
+        [&] {
+          vec<obl::Elem> v(in);
+          obl::bitonic_sort_ca(v.s());
+        },
+        true, M, B);
+    auto naive = bench::measure(
+        [&] {
+          vec<obl::Elem> v(in);
+          obl::bitonic_sort_layerwise(v.s());
+        },
+        true, M, B);
+    std::printf("M=%-8llu B=%-4llu Q ca=%-9llu Q naive=%-10llu ratio=%.2f\n",
+                (unsigned long long)M, (unsigned long long)B,
+                (unsigned long long)ca.misses,
+                (unsigned long long)naive.misses,
+                double(naive.misses) / double(ca.misses));
+  }
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Wall-clock micro-benchmarks (google-benchmark) for the core primitives
+// in native (uninstrumented) mode. Complements the analytic table benches:
+// these show the constant factors a practitioner would actually pay.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/orp.hpp"
+#include "core/osort.hpp"
+#include "insecure/mergesort.hpp"
+#include "obl/aggregate.hpp"
+#include "obl/bitonic_ca.hpp"
+#include "obl/sendrecv.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dopar;
+
+std::vector<obl::Elem> rand_elems(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<obl::Elem> v(n);
+  for (size_t i = 0; i < n; ++i) v[i].key = rng();
+  return v;
+}
+
+void BM_BitonicCa(benchmark::State& state) {
+  const size_t n = state.range(0);
+  auto data = rand_elems(n, 1);
+  for (auto _ : state) {
+    vec<obl::Elem> v(data);
+    obl::bitonic_sort_ca(v.s());
+    benchmark::DoNotOptimize(v.underlying().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BitonicCa)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_BitonicNaive(benchmark::State& state) {
+  const size_t n = state.range(0);
+  auto data = rand_elems(n, 2);
+  for (auto _ : state) {
+    vec<obl::Elem> v(data);
+    obl::bitonic_sort(v.s());
+    benchmark::DoNotOptimize(v.underlying().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BitonicNaive)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_Orp(benchmark::State& state) {
+  const size_t n = state.range(0);
+  auto data = rand_elems(n, 3);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    vec<obl::Elem> in(data), out(n);
+    core::orp(in.s(), out.s(), ++seed);
+    benchmark::DoNotOptimize(out.underlying().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Orp)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_OsortPractical(benchmark::State& state) {
+  const size_t n = state.range(0);
+  auto data = rand_elems(n, 4);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    vec<obl::Elem> v(data);
+    core::osort(v.s(), ++seed, core::Variant::Practical);
+    benchmark::DoNotOptimize(v.underlying().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_OsortPractical)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_OsortTheoretical(benchmark::State& state) {
+  const size_t n = state.range(0);
+  auto data = rand_elems(n, 5);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    vec<obl::Elem> v(data);
+    core::osort(v.s(), ++seed, core::Variant::Theoretical);
+    benchmark::DoNotOptimize(v.underlying().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_OsortTheoretical)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_InsecureMergeSort(benchmark::State& state) {
+  const size_t n = state.range(0);
+  auto data = rand_elems(n, 6);
+  for (auto _ : state) {
+    vec<obl::Elem> v(data);
+    insecure::merge_sort(v.s());
+    benchmark::DoNotOptimize(v.underlying().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InsecureMergeSort)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_SendReceive(benchmark::State& state) {
+  const size_t n = state.range(0);
+  util::Rng rng(7);
+  std::vector<obl::Elem> sources(n), dests(n);
+  for (size_t i = 0; i < n; ++i) {
+    sources[i].key = 2 * i;
+    sources[i].payload = i;
+    dests[i].key = rng.below(2 * n);
+  }
+  for (auto _ : state) {
+    vec<obl::Elem> s(sources), d(dests), r(n);
+    obl::send_receive(s.s(), d.s(), r.s());
+    benchmark::DoNotOptimize(r.underlying().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SendReceive)->Arg(1 << 12);
+
+void BM_Aggregate(benchmark::State& state) {
+  const size_t n = state.range(0);
+  std::vector<obl::Elem> data(n);
+  for (size_t i = 0; i < n; ++i) {
+    data[i].key = i / 16;
+    data[i].payload = i;
+  }
+  struct Add {
+    uint64_t operator()(uint64_t a, uint64_t b) const { return a + b; }
+  };
+  for (auto _ : state) {
+    vec<obl::Elem> v(data);
+    obl::aggregate_suffix(v.s(), Add{});
+    benchmark::DoNotOptimize(v.underlying().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Aggregate)->Arg(1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

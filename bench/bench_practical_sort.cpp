@@ -1,0 +1,45 @@
+// Section E reproduction: the practical variant's constants.
+//
+// Claims: the practical oblivious sort pays only a loglog n work factor
+// over the theoretical variant, its span is O(log^2 n loglog n), and the
+// bitonic pieces contribute a ~1/2 constant in comparisons. This bench
+// counts actual comparator invocations and compares both variants.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/osort.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace dopar;
+  std::printf("Practical vs theoretical oblivious sort (Section E)\n");
+  bench::print_header(
+      "n sweep",
+      "work ratio practical/theoretical ~ O(loglog n); spans polylog");
+  for (size_t n : {1u << 10, 1u << 11, 1u << 12, 1u << 13}) {
+    util::Rng rng(n);
+    std::vector<obl::Elem> in(n);
+    for (size_t i = 0; i < n; ++i) in[i].key = rng();
+    auto prac = bench::measure([&] {
+      vec<obl::Elem> v(in);
+      core::osort(v.s(), 3, core::Variant::Practical);
+    });
+    auto theo = bench::measure([&] {
+      vec<obl::Elem> v(in);
+      core::osort(v.s(), 3, core::Variant::Theoretical);
+    });
+    const double dn = double(n);
+    std::printf(
+        "n=%-7zu prac W=%-11llu S=%-8llu Q=%-9llu | theo W=%-11llu "
+        "S=%-8llu Q=%-9llu | W ratio=%.2f S prac/(lg^2 n lglg n)=%.2f\n",
+        n, (unsigned long long)prac.work, (unsigned long long)prac.span,
+        (unsigned long long)prac.misses, (unsigned long long)theo.work,
+        (unsigned long long)theo.span, (unsigned long long)theo.misses,
+        double(prac.work) / double(theo.work),
+        double(prac.span) /
+            (bench::lg(dn) * bench::lg(dn) * bench::lglg(dn)));
+  }
+  return 0;
+}

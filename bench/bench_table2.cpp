@@ -1,0 +1,209 @@
+// Table 2 reproduction: aggregation, propagation, send-receive, and
+// oblivious PRAM-step simulation — our binary fork-join algorithms vs the
+// "prior best" (the best oblivious PRAM algorithm with every PRAM step
+// naively forked in a binary tree).
+//
+// Claims to check (spans; work is equal by construction):
+//   * Aggr/Prop: ours O(log n) vs prior O(log^2 n) — the span ratio
+//     prior/ours should GROW like log n;
+//   * S-R: ours uses the cache-agnostic sorter (sort-bound cache) vs the
+//     naive parallelization (cache O((n/B) log^2 n)) — the cache ratio
+//     grows like log n while spans differ by a loglog-ish factor;
+//   * PRAM: per-step cost of the space-bounded simulation (s ~ p) and the
+//     OPRAM-based large-space simulation (s >> p).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "forkjoin/api.hpp"
+#include "obl/aggregate.hpp"
+#include "obl/propagate.hpp"
+#include "obl/sendrecv.hpp"
+#include "obl/sorter.hpp"
+#include "pram/oblivious_ls.hpp"
+#include "pram/oblivious_sb.hpp"
+#include "pram/reference.hpp"
+#include "pram/samples.hpp"
+#include "util/rng.hpp"
+
+namespace dopar {
+namespace {
+
+using bench::measure;
+using bench::Measure;
+
+std::vector<obl::Elem> grouped(size_t n, uint64_t groups, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<obl::Elem> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i].key = i * groups / n;  // sorted group layout
+    v[i].payload = rng.below(100);
+  }
+  return v;
+}
+
+struct Add {
+  uint64_t operator()(uint64_t a, uint64_t b) const { return a + b; }
+};
+
+// "Prior best" aggregation: the O(log n)-step PRAM doubling algorithm with
+// every step forked naively — span O(log^2 n).
+void naive_pram_aggregate(const slice<obl::Elem>& a) {
+  const size_t n = a.size();
+  vec<uint64_t> cur(n), nxt(n);
+  vec<uint64_t> stop(n), stop2(n);
+  const slice<uint64_t> C = cur.s(), N = nxt.s();
+  const slice<uint64_t> S = stop.s(), S2 = stop2.s();
+  fj::for_range(0, n, 1, [&](size_t i) {
+    sim::tick(1);
+    C[i] = a[i].payload;
+    S[i] = (i + 1 == n) || (a[i + 1].key != a[i].key);
+  });
+  for (size_t d = 1; d < n; d *= 2) {  // O(log n) PRAM steps
+    fj::for_range(0, n, 1, [&](size_t i) {  // each step: binary-tree fork
+      sim::tick(1);
+      const bool take = !S[i] && i + d < n;
+      N[i] = C[i] + (take ? C[i + d] : 0);
+      S2[i] = S[i] || (take ? S[i + d] : 1);
+    });
+    fj::for_range(0, n, 1, [&](size_t i) {
+      C[i] = N[i];
+      S[i] = S2[i];
+    });
+  }
+  fj::for_range(0, n, 1, [&](size_t i) {
+    obl::Elem e = a[i];
+    e.payload = C[i];
+    a[i] = e;
+  });
+}
+
+}  // namespace
+}  // namespace dopar
+
+int main() {
+  using namespace dopar;
+  std::printf("Table 2 reproduction (W/S/Q as in Table 1; M=%llu B=%llu)\n",
+              (unsigned long long)bench::kM, (unsigned long long)bench::kB);
+
+  bench::print_header("Aggregation: ours vs naive PRAM forking",
+                      "col: span ratio prior/ours should grow ~log n");
+  for (size_t n : {1u << 10, 1u << 12, 1u << 14}) {
+    auto data = grouped(n, 32, n);
+    Measure ours = measure([&] {
+      vec<obl::Elem> v(data);
+      obl::aggregate_suffix(v.s(), Add{});
+    });
+    Measure prior = measure([&] {
+      vec<obl::Elem> v(data);
+      naive_pram_aggregate(v.s());
+    });
+    std::printf(
+        "Aggr n=%-7zu ours W=%-9llu S=%-6llu Q=%-8llu | prior W=%-9llu "
+        "S=%-6llu Q=%-8llu | span prior/ours=%.2f\n",
+        n, (unsigned long long)ours.work, (unsigned long long)ours.span,
+        (unsigned long long)ours.misses, (unsigned long long)prior.work,
+        (unsigned long long)prior.span, (unsigned long long)prior.misses,
+        double(prior.span) / double(ours.span));
+  }
+
+  bench::print_header("Propagation: ours (segmented scan)",
+                      "span/log2(n) should be ~flat (O(log n) claim)");
+  for (size_t n : {1u << 10, 1u << 12, 1u << 14}) {
+    auto data = grouped(n, 32, n + 1);
+    Measure ours = measure([&] {
+      vec<obl::Elem> v(data);
+      obl::propagate_leftmost(v.s());
+    });
+    std::printf("Prop n=%-7zu W=%-9llu S=%-6llu Q=%-8llu  S/lg(n)=%.1f  "
+                "W/n=%.1f\n",
+                n, (unsigned long long)ours.work,
+                (unsigned long long)ours.span,
+                (unsigned long long)ours.misses,
+                double(ours.span) / bench::lg(double(n)),
+                double(ours.work) / double(n));
+  }
+
+  bench::print_header(
+      "Send-receive: cache-agnostic vs naive parallelization",
+      "cache ratio naive/ours should grow ~log n (M = 16 KiB so the "
+      "working set exceeds the cache)");
+  for (size_t n : {1u << 11, 1u << 12, 1u << 13}) {
+    util::Rng rng(n);
+    std::vector<obl::Elem> sources(n), dests(n);
+    for (size_t i = 0; i < n; ++i) {
+      sources[i].key = 2 * i;
+      sources[i].payload = i;
+      dests[i].key = rng.below(2 * n);
+    }
+    constexpr uint64_t kSmallM = 16 * 1024;
+    Measure ours = measure(
+        [&] {
+          vec<obl::Elem> s(sources), d(dests), r(dests.size());
+          obl::send_receive(s.s(), d.s(), r.s(), obl::BitonicSorter{});
+        },
+        true, kSmallM, bench::kB);
+    Measure naive = measure(
+        [&] {
+          vec<obl::Elem> s(sources), d(dests), r(dests.size());
+          obl::send_receive(s.s(), d.s(), r.s(), obl::NaiveBitonicSorter{});
+        },
+        true, kSmallM, bench::kB);
+    std::printf(
+        "S-R  n=%-7zu ours W=%-10llu S=%-7llu Q=%-8llu | naive W=%-10llu "
+        "S=%-7llu Q=%-8llu | Q naive/ours=%.2f S naive/ours=%.2f\n",
+        n, (unsigned long long)ours.work, (unsigned long long)ours.span,
+        (unsigned long long)ours.misses, (unsigned long long)naive.work,
+        (unsigned long long)naive.span, (unsigned long long)naive.misses,
+        double(naive.misses) / double(ours.misses ? ours.misses : 1),
+        double(naive.span) / double(ours.span));
+  }
+
+  bench::print_header("PRAM-step simulation",
+                      "per-step cost; sb ~ sort(p+s), ls ~ p*log^2(s)");
+  for (size_t p : {size_t{16}, size_t{32}}) {
+    util::Rng rng(p);
+    std::vector<uint64_t> vals(p);
+    for (auto& v : vals) v = rng.below(1000);
+    pram::RunStats st_sb, st_ls;
+    Measure sb = measure([&] {
+      pram::MaxReduceProgram prog(vals);
+      (void)pram::run_oblivious_sb(prog, obl::BitonicSorter{}, &st_sb);
+    });
+    Measure ls = measure([&] {
+      pram::MaxReduceProgram prog(vals);
+      (void)pram::run_oblivious_ls(prog, 5, &st_ls);
+    });
+    std::printf(
+        "PRAM p=s=%-4zu steps=%-3zu | sb/step W=%-9llu S=%-6llu Q=%-7llu | "
+        "ls/step W=%-9llu S=%-6llu Q=%-7llu\n",
+        p, st_sb.steps, (unsigned long long)(sb.work / st_sb.steps),
+        (unsigned long long)(sb.span / st_sb.steps),
+        (unsigned long long)(sb.misses / st_sb.steps),
+        (unsigned long long)(ls.work / st_ls.steps),
+        (unsigned long long)(ls.span / st_ls.steps),
+        (unsigned long long)(ls.misses / st_ls.steps));
+  }
+  // Large-space regime: s >> p — the OPRAM-based simulation's advantage.
+  {
+    const size_t p = 8, rounds = 4;
+    pram::RunStats st_sb, st_ls;
+    Measure sb = measure([&] {
+      pram::WriteConflictProgram prog(p, rounds);
+      (void)pram::run_oblivious_sb(prog, obl::BitonicSorter{}, &st_sb);
+    });
+    Measure ls = measure([&] {
+      pram::WriteConflictProgram prog(p, rounds);
+      (void)pram::run_oblivious_ls(prog, 5, &st_ls);
+    });
+    std::printf(
+        "PRAM p=%zu s=%zu (s~p regime for reference) sb W/step=%llu ls "
+        "W/step=%llu\n",
+        p, rounds + 1, (unsigned long long)(sb.work / st_sb.steps),
+        (unsigned long long)(ls.work / st_ls.steps));
+  }
+
+  std::printf("\nDone. See EXPERIMENTS.md.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+#pragma once
+// Shared harness for the table/figure reproduction benches.
+//
+// Every bench runs its workload under an analytic measurement session
+// (serial execution, exact fork-join work/span, ideal-cache LRU misses)
+// and prints rows whose *normalized* columns should be flat if the paper's
+// asymptotic claim holds — see EXPERIMENTS.md for how to read each table.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "sim/session.hpp"
+
+namespace dopar::bench {
+
+struct Measure {
+  uint64_t work = 0;
+  uint64_t span = 0;
+  uint64_t misses = 0;  ///< 0 when cache simulation was off
+};
+
+/// Default cache parameters for cache-complexity measurements:
+/// M = 256 KiB, B = 64 bytes (a typical L2 slice; the algorithms are
+/// cache-agnostic, so any choice works).
+inline constexpr uint64_t kM = 256 * 1024;
+inline constexpr uint64_t kB = 64;
+
+template <class F>
+Measure measure(F&& f, bool with_cache = true, uint64_t m_bytes = kM,
+                uint64_t b_bytes = kB) {
+  sim::Session s = with_cache
+                       ? sim::Session::analytic().with_cache(m_bytes, b_bytes)
+                       : sim::Session::analytic();
+  {
+    sim::ScopedSession guard(s);
+    f();
+  }
+  Measure out;
+  out.work = s.cost().work;
+  out.span = s.cost().span;
+  out.misses = s.cache() ? s.cache()->misses() : 0;
+  return out;
+}
+
+inline double lg(double x) { return std::log2(x < 2 ? 2 : x); }
+inline double lglg(double x) { return lg(lg(x)); }
+
+/// log_M(n) with the bench's default cache size in *elements* of 32 bytes.
+inline double logM(double n, double m_bytes = kM) {
+  const double m_elems = m_bytes / 32.0;
+  return std::log(n < 2 ? 2 : n) / std::log(m_elems < 2 ? 2 : m_elems);
+}
+
+inline void print_header(const char* title, const char* cols) {
+  std::printf("\n=== %s ===\n%s\n", title, cols);
+}
+
+}  // namespace dopar::bench

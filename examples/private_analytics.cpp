@@ -1,0 +1,64 @@
+// Private analytics on outsourced data — the paper's motivating scenario.
+//
+// A client outsources encrypted patient records to an untrusted cloud; the
+// enclave computes a GROUP-BY aggregation (visits and total cost per
+// diagnosis code) without the access pattern revealing which records share
+// a diagnosis. Pipeline: oblivious sort by group key, then oblivious
+// aggregation (segmented suffix scan) — both fixed-pattern.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/osort.hpp"
+#include "obl/aggregate.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace dopar;
+  constexpr size_t kRecords = 4096;
+  constexpr size_t kCodes = 16;
+
+  util::Rng rng(7);
+  std::vector<obl::Elem> records(kRecords);
+  std::vector<uint64_t> true_count(kCodes, 0), true_cost(kCodes, 0);
+  for (size_t i = 0; i < kRecords; ++i) {
+    const uint64_t code = rng.below(kCodes);
+    const uint64_t cost = 10 + rng.below(990);
+    records[i].key = code;      // group key (sensitive!)
+    records[i].payload = cost;  // value to aggregate
+    true_count[code]++;
+    true_cost[code] += cost;
+  }
+
+  // Enclave-side computation: everything below has a data-independent
+  // access pattern.
+  vec<obl::Elem> v(records);
+  core::osort(v.s(), /*seed=*/99);
+
+  struct Add {
+    uint64_t operator()(uint64_t a, uint64_t b) const { return a + b; }
+  };
+  obl::aggregate_suffix(v.s(), Add{});
+  // After aggregation, the FIRST record of each group holds the group
+  // total (suffix fold from the leftmost member covers the whole group).
+
+  std::printf("%-10s %-10s %-12s %s\n", "diagnosis", "records",
+              "total cost", "check");
+  size_t checked = 0;
+  for (size_t i = 0; i < kRecords; ++i) {
+    const bool head =
+        i == 0 || v.underlying()[i].key != v.underlying()[i - 1].key;
+    if (!head) continue;
+    const uint64_t code = v.underlying()[i].key;
+    const uint64_t total = v.underlying()[i].payload;
+    std::printf("%-10llu %-10llu %-12llu %s\n", (unsigned long long)code,
+                (unsigned long long)true_count[code],
+                (unsigned long long)total,
+                total == true_cost[code] ? "OK" : "MISMATCH");
+    checked += total == true_cost[code];
+  }
+  std::printf("\n%zu/%zu group totals verified against the plaintext "
+              "reference.\n",
+              checked, kCodes);
+  return checked == kCodes ? 0 : 1;
+}

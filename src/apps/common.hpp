@@ -1,0 +1,136 @@
+#pragma once
+// Shared oblivious building blocks for the Section 5 applications.
+//
+// The applications all follow the same batch-parallel discipline: a table
+// (array indexed by vertex/node id) is read with oblivious *gathers* and
+// updated with conflict-resolved oblivious *scatters*, both built on
+// send-receive — one table-sized routing instance per operation, exactly
+// the per-step machinery of the space-bounded PRAM simulation (Thm 4.1).
+
+#include <cassert>
+#include <cstdint>
+
+#include "forkjoin/api.hpp"
+#include "obl/elem.hpp"
+#include "obl/oswap.hpp"
+#include "obl/sendrecv.hpp"
+#include "obl/sorter.hpp"
+#include "sim/tracked.hpp"
+#include "util/bits.hpp"
+
+namespace dopar::apps {
+
+/// results[i] = table[addrs[i]]; table is a plain value array indexed by
+/// address. Fixed access pattern: one send-receive on (|table|, |addrs|).
+template <class Sorter = obl::BitonicSorter>
+void gather(const slice<uint64_t>& table, const slice<uint64_t>& addrs,
+            const slice<uint64_t>& out, const Sorter& sorter = {}) {
+  using obl::Elem;
+  const size_t s = table.size();
+  const size_t q = addrs.size();
+  assert(out.size() == q);
+  vec<Elem> src(s), dst(q), res(q);
+  const slice<Elem> sv = src.s(), dv = dst.s(), rv = res.s();
+  fj::for_range(0, s, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    Elem e;
+    e.key = i;
+    e.payload = table[i];
+    sv[i] = e;
+  });
+  fj::for_range(0, q, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    Elem e;
+    e.key = addrs[i];
+    dv[i] = e;
+  });
+  obl::send_receive(sv, dv, rv, sorter);
+  fj::for_range(0, q, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    out[i] = rv[i].payload;
+  });
+}
+
+/// Scatter with Priority/combine semantics: for each i with live[i],
+/// proposes table[addrs[i]] = values[i]; conflicting proposals to one
+/// address are resolved by keeping the *minimum* (value, tiebreak) pair —
+/// the CRCW flavor the Section 5 graph algorithms need (min-hooking).
+/// Fixed pattern: one sort of |addrs| records + one send-receive.
+/// When `combine_min` is true the delivered value additionally combines
+/// with the cell's old content by min (monotone tables, e.g. hooking
+/// labels); when false it replaces it.
+template <class Sorter = obl::BitonicSorter>
+void scatter_min(const slice<uint64_t>& table, const slice<uint64_t>& addrs,
+                 const slice<uint64_t>& values, const slice<uint64_t>& live,
+                 const Sorter& sorter = {}, bool combine_min = false) {
+  using obl::Elem;
+  const size_t s = table.size();
+  const size_t q = addrs.size();
+  const size_t qp = util::pow2_ceil(q < 2 ? 2 : q);
+  vec<Elem> props(qp);
+  const slice<Elem> pv = props.s();
+  // Sort proposals by (addr, value): the head of each address group is the
+  // minimum proposal.
+  fj::for_range(0, qp, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    Elem e = Elem::filler();
+    if (i < q) {
+      Elem cand;
+      cand.key = addrs[i];
+      cand.payload = values[i];
+      obl::oassign(live[i] != 0, e, cand);
+    }
+    pv[i] = e;
+  });
+  struct LessAddrVal {
+    bool operator()(const Elem& a, const Elem& b) const {
+      if (a.key != b.key) return a.key < b.key;
+      return a.payload < b.payload;
+    }
+  };
+  sorter(pv, LessAddrVal{});
+  // Two passes: flag losers from a snapshot, then fillerize.
+  vec<uint64_t> loserv(qp);
+  const slice<uint64_t> lo = loserv.s();
+  fj::for_range(0, qp, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    const Elem e = pv[i];
+    const Elem p = pv[i == 0 ? 0 : i - 1];
+    lo[i] = (i != 0 && !e.is_filler() && !p.is_filler() && e.key == p.key)
+                ? 1u
+                : 0u;
+  });
+  fj::for_range(0, qp, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    Elem e = pv[i];
+    obl::oassign(lo[i] != 0, e, Elem::filler());
+    pv[i] = e;
+  });
+  // Deliver: every table cell asks whether it has a new value.
+  vec<Elem> cells(s), upd(s);
+  const slice<Elem> cv = cells.s(), uv = upd.s();
+  fj::for_range(0, s, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    Elem e;
+    e.key = i;
+    cv[i] = e;
+  });
+  obl::send_receive(pv, cv, uv, sorter);
+  fj::for_range(0, s, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    uint64_t v = table[i];
+    const Elem u = uv[i];
+    const bool hit = (u.flags & Elem::kNotFound) == 0;
+    const uint64_t incoming =
+        combine_min && u.payload > v ? v : u.payload;
+    obl::oassign(hit, v, incoming);
+    table[i] = v;
+  });
+}
+
+}  // namespace dopar::apps
+
+// NOTE: scatter_min's first sort sorts by (addr, value), which the generic
+// Elem-key sorters cannot express directly; when plugging in
+// core::OsortSorter, pack (addr, value) into the key at the call site or
+// use the default comparator-capable network sorters.

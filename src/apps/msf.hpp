@@ -1,0 +1,111 @@
+#pragma once
+// Oblivious minimum spanning forest (paper Section 5.3, Theorem 5.2(ii)).
+//
+// Borůvka rounds executed with batch-oblivious gathers/scatters: every
+// component selects its minimum-weight outgoing edge (one scatter_min into
+// a per-label "best edge" table), selected edges hook the larger label
+// onto the smaller and join the forest, and pointer doubling flattens
+// labels. A fixed O(log n) round count keeps the access pattern
+// data-independent. Distinct weights are assumed (ties broken by edge id,
+// packed into the proposal value), which also makes the MSF unique.
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "apps/cc.hpp"
+#include "apps/common.hpp"
+#include "forkjoin/api.hpp"
+#include "sim/tracked.hpp"
+#include "util/bits.hpp"
+
+namespace dopar::apps {
+
+/// Returns a 0/1 flag per input edge: 1 iff the edge is in the MSF.
+/// Requires w < 2^31 and m < 2^31 (weight and id pack into one proposal).
+template <class Sorter = obl::BitonicSorter>
+std::vector<uint8_t> msf_oblivious(size_t n, const std::vector<GEdge>& edges,
+                                   const Sorter& sorter = {}) {
+  const size_t m = edges.size();
+  std::vector<uint8_t> in_msf(m, 0);
+  if (m == 0 || n <= 1) return in_msf;
+
+  vec<uint64_t> Pv(n);
+  const slice<uint64_t> P = Pv.s();
+  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) { P[i] = i; });
+
+  vec<uint64_t> au(m), av(m), pu(m), pv(m);
+  const slice<uint64_t> AU = au.s(), AV = av.s(), PU = pu.s(), PV = pv.s();
+  fj::for_range(0, m, fj::kDefaultGrain, [&](size_t e) {
+    AU[e] = edges[e].u;
+    AV[e] = edges[e].v;
+    assert(edges[e].w < (uint64_t{1} << 31));
+  });
+
+  vec<uint64_t> ja(n), jg(n);
+  const slice<uint64_t> JA = ja.s(), JG = jg.s();
+  auto jump = [&] {
+    fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) { JA[i] = P[i]; });
+    gather(P, JA, JG, sorter);
+    fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) { P[i] = JG[i]; });
+  };
+
+  const uint64_t kNone = ~uint64_t{0};
+  vec<uint64_t> bestv(n);
+  const slice<uint64_t> BEST = bestv.s();
+  vec<uint64_t> prop_t(2 * m), prop_v(2 * m), prop_l(2 * m);
+  const slice<uint64_t> PT = prop_t.s(), PW = prop_v.s(), PL = prop_l.s();
+  vec<uint64_t> bu(m), bv(m);
+  const slice<uint64_t> BU = bu.s(), BV = bv.s();
+  vec<uint64_t> chosen_f(m);
+  const slice<uint64_t> CF = chosen_f.s();
+
+  const unsigned rounds = util::log2_ceil(n) + 2;
+  for (unsigned r = 0; r < rounds; ++r) {
+    gather(P, AU, PU, sorter);
+    gather(P, AV, PV, sorter);
+    // Reset the per-label best-edge table.
+    fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) { BEST[i] = kNone; });
+    // Each edge proposes itself to both endpoint components.
+    fj::for_range(0, m, fj::kDefaultGrain, [&](size_t e) {
+      sim::tick(1);
+      const uint64_t packed = (edges[e].w << 32) | e;
+      const uint64_t lv = PU[e] != PV[e] ? 1u : 0u;
+      PT[e] = PU[e];
+      PW[e] = packed;
+      PL[e] = lv;
+      PT[m + e] = PV[e];
+      PW[m + e] = packed;
+      PL[m + e] = lv;
+    });
+    scatter_min(BEST, PT, PW, PL, sorter);
+    // Each edge checks whether it won either endpoint's selection.
+    gather(BEST, PU, BU, sorter);
+    gather(BEST, PV, BV, sorter);
+    fj::for_range(0, m, fj::kDefaultGrain, [&](size_t e) {
+      sim::tick(1);
+      const uint64_t packed = (edges[e].w << 32) | e;
+      const bool won = (PU[e] != PV[e]) && (BU[e] == packed ||
+                                            BV[e] == packed);
+      CF[e] = won ? 1u : 0u;
+    });
+    for (size_t e = 0; e < m; ++e) in_msf[e] |= CF[e] != 0;
+    // Hook along winning edges: larger label -> smaller label.
+    vec<uint64_t> ht(m), hv(m);
+    const slice<uint64_t> HT = ht.s(), HV = hv.s();
+    fj::for_range(0, m, fj::kDefaultGrain, [&](size_t e) {
+      sim::tick(1);
+      const uint64_t a = PU[e], b = PV[e];
+      HT[e] = a > b ? a : b;
+      HV[e] = a > b ? b : a;
+    });
+    scatter_min(P, HT, HV, CF, sorter, /*combine_min=*/true);
+    // Borůvka's selection step needs *exact* component labels, so flatten
+    // fully each round (log n pointer-doubling jumps) — stale labels would
+    // admit intra-component edges into the forest.
+    for (unsigned j = 0; j < util::log2_ceil(n) + 1; ++j) jump();
+  }
+  return in_msf;
+}
+
+}  // namespace dopar::apps

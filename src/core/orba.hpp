@@ -1,0 +1,169 @@
+#pragma once
+// REC-ORBA: recursive, cache-agnostic, binary fork-join oblivious random
+// bin assignment (paper Sections 3.1–3.2, C.2, D.1). The core of the
+// paper's sorting result.
+//
+// Each real input element draws a uniform random destination among beta =
+// 2n/Z bins; the elements are routed to their bins through a gamma-way
+// butterfly network realized recursively:
+//   * base case (<= gamma bins): one oblivious bin placement consuming the
+//     next log2(#bins) label bits,
+//   * recursive case: split the beta bins into beta1 partitions of beta2
+//     consecutive bins; recursively distribute each partition on the high
+//     log2(beta2) bits; transpose the beta1 x beta2 matrix of bins so bins
+//     with equal high bits meet; recursively distribute each row on the
+//     remaining log2(beta1) bits.
+// Costs (Lemma 3.1): O(n log n) work, O(log n loglog n) span, and
+// cache-agnostic O((n/B) log_M n) misses.
+//
+// The access pattern is a fixed function of (n, Z, gamma): labels influence
+// only record *contents* inspected through branchless selects inside bin
+// placement. Bin overflow (negligible probability, independent of input
+// data) surfaces as obl::BinOverflow; callers re-randomize.
+
+#include <cassert>
+#include <cstdint>
+
+#include "core/params.hpp"
+#include "forkjoin/api.hpp"
+#include "obl/binplace.hpp"
+#include "obl/elem.hpp"
+#include "obl/sorter.hpp"
+#include "sim/tracked.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+#include "util/transpose.hpp"
+
+namespace dopar::core {
+
+/// A routed record: the user element plus its random bin label.
+struct Routed {
+  uint64_t label = 0;
+  obl::Elem e;
+
+  static Routed filler() {
+    Routed r;
+    r.label = ~uint64_t{0};
+    r.e = obl::Elem::filler();
+    return r;
+  }
+};
+static_assert(sizeof(Routed) == 40);
+
+}  // namespace dopar::core
+
+namespace dopar::obl {
+template <>
+struct RecordTraits<core::Routed> {
+  static bool is_filler(const core::Routed& r) { return r.e.is_filler(); }
+  static core::Routed filler() { return core::Routed::filler(); }
+};
+}  // namespace dopar::obl
+
+namespace dopar::core {
+
+namespace detail {
+
+/// Distribute `data` (= nbins bins of Z records) into nbins output bins
+/// according to label bits [bit_lo, bit_lo + log2 nbins) counted from the
+/// most significant of `total_bits`.
+template <class Sorter>
+void rec_orba(const slice<Routed>& data, size_t nbins, size_t Z, size_t gamma,
+              unsigned bit_lo, unsigned total_bits, const Sorter& sorter) {
+  const unsigned bits_here = util::log2_exact(nbins);
+  if (nbins <= gamma) {
+    const unsigned drop = total_bits - bit_lo - bits_here;
+    const uint64_t mask = nbins - 1;
+    vec<Routed> outv(nbins * Z);
+    obl::bin_placement<Routed>(
+        data, outv.s(), nbins, Z,
+        [drop, mask](const Routed& r) { return (r.label >> drop) & mask; },
+        sorter);
+    const slice<Routed> out = outv.s();
+    fj::for_range(0, nbins * Z, fj::kDefaultGrain,
+                  [&](size_t i) { data[i] = out[i]; });
+    return;
+  }
+
+  const size_t beta1 = size_t{1} << ((bits_here + 1) / 2);
+  const size_t beta2 = nbins / beta1;
+  const unsigned bits2 = util::log2_exact(beta2);
+
+  // Phase 1: each of the beta1 partitions (beta2 consecutive bins)
+  // distributes on the high log2(beta2) bits.
+  fj::for_range(0, beta1, 1, [&](size_t j) {
+    rec_orba(data.sub(j * beta2 * Z, beta2 * Z), beta2, Z, gamma, bit_lo,
+             total_bits, sorter);
+  });
+
+  // Transpose the beta1 x beta2 matrix of bins: bins with equal high bits
+  // become consecutive.
+  vec<Routed> scratchv(nbins * Z);
+  const slice<Routed> scratch = scratchv.s();
+  util::transpose_blocks(data, scratch, beta1, beta2, Z);
+
+  // Phase 2: each row of beta1 bins distributes on the low log2(beta1)
+  // bits; the concatenation of rows is the final bin order.
+  fj::for_range(0, beta2, 1, [&](size_t i) {
+    rec_orba(scratch.sub(i * beta1 * Z, beta1 * Z), beta1, Z, gamma,
+             bit_lo + bits2, total_bits, sorter);
+  });
+
+  fj::for_range(0, nbins * Z, fj::kDefaultGrain,
+                [&](size_t i) { data[i] = scratch[i]; });
+}
+
+}  // namespace detail
+
+/// Result of an ORBA run: beta bins of Z records each, concatenated.
+struct OrbaOutput {
+  vec<Routed> bins;  ///< beta * Z records
+  size_t beta = 0;
+  size_t Z = 0;
+};
+
+/// Obliviously assign each element of `in` (|in| = n, a power of two, n >=
+/// Z) to a uniformly random bin among beta = 2n/Z bins padded to capacity
+/// Z. `seed` drives the label choice; fresh seeds give fresh assignments.
+/// Throws obl::BinOverflow with negligible, input-independent probability.
+template <class Sorter = obl::BitonicSorter>
+OrbaOutput orba(const slice<obl::Elem>& in, uint64_t seed,
+                const SortParams& params, const Sorter& sorter = {}) {
+  const size_t n = in.size();
+  assert(util::is_pow2(n));
+  const size_t Z = params.Z;
+  const size_t beta = params.beta_for(n);
+  assert(util::is_pow2(Z) && util::is_pow2(beta) && beta >= 1);
+  const unsigned label_bits = beta == 1 ? 1 : util::log2_exact(beta);
+
+  OrbaOutput out;
+  out.beta = beta;
+  out.Z = Z;
+  out.bins = vec<Routed>(beta * Z);
+  const slice<Routed> work = out.bins.s();
+
+  // Initial layout: bin b holds the Z/2 inputs in[b*Z/2 .. (b+1)*Z/2) plus
+  // Z/2 fillers; every real element draws a uniform label.
+  fj::for_range(0, beta * Z, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    const size_t b = i / Z;
+    const size_t k = i % Z;
+    Routed r;
+    if (k < Z / 2) {
+      const size_t src = b * (Z / 2) + k;
+      r.e = in[src];
+      r.label = util::hash_rand(seed, src) & ((uint64_t{1} << label_bits) - 1);
+      if (beta == 1) r.label = 0;
+    } else {
+      r = Routed::filler();
+    }
+    work[i] = r;
+  });
+
+  if (beta > 1) {
+    detail::rec_orba(work, beta, Z, params.gamma, 0, label_bits, sorter);
+  }
+  return out;
+}
+
+}  // namespace dopar::core

@@ -1,0 +1,148 @@
+#pragma once
+// Oblivious random permutation (paper Section C.3, D.2).
+//
+// ORBA followed by: (1) assigning each slot a fresh 64-bit random label,
+// (2) obliviously sorting *within each bin* by that label (fillers get the
+// max label and sink to the end of their bin), and (3) removing fillers
+// with a non-oblivious prefix-sum compaction. Asharov et al. / Chan et al.
+// prove the final bin loads are simulatable from |I| alone, so the reveal
+// in step (3) is safe; steps (1)–(2) have fixed access patterns.
+//
+// Label collisions would bias the permutation; with 64-bit labels inside
+// bins of Z <= 2^20 the collision probability is <= Z^2/2^64 per bin —
+// negligible (the paper uses log n loglog n-bit labels for the same
+// reason). A collision is *detected* and re-randomized anyway, keeping the
+// output distribution exactly uniform over the no-collision event.
+//
+// On bin overflow inside ORBA (negligible, input-independent probability)
+// the whole pipeline retries with a fresh seed, which preserves both
+// obliviousness and the output distribution.
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/orba.hpp"
+#include "core/params.hpp"
+#include "forkjoin/api.hpp"
+#include "obl/bitonic_ca.hpp"
+#include "obl/compact.hpp"
+#include "obl/scan.hpp"
+#include "sim/tracked.hpp"
+#include "util/rng.hpp"
+
+namespace dopar::core {
+
+struct PermuteFailure : std::runtime_error {
+  PermuteFailure()
+      : std::runtime_error(
+            "oblivious random permutation: retries exhausted (negligible-"
+            "probability event; check parameterization)") {}
+};
+
+namespace detail {
+
+struct ByLabel {
+  bool operator()(const Routed& a, const Routed& b) const {
+    return a.label < b.label;
+  }
+};
+
+}  // namespace detail
+
+/// One ORP attempt. Returns the permuted elements in `out` (|out| = |in|).
+/// Throws obl::BinOverflow on bin overflow; retries are orchestrated by
+/// orp() below.
+template <class Sorter = obl::BitonicSorter>
+void orp_attempt(const slice<obl::Elem>& in, const slice<obl::Elem>& out,
+                 uint64_t seed, const SortParams& params,
+                 const Sorter& sorter = {}) {
+  const size_t n = in.size();
+  assert(out.size() == n);
+  if (n <= 1) {
+    if (n == 1) out[0] = in[0];
+    return;
+  }
+
+  OrbaOutput bins = orba(in, seed, params, sorter);
+  const slice<Routed> w = bins.bins.s();
+  const size_t total = bins.beta * bins.Z;
+
+  // Fresh per-slot labels; fillers get the max label.
+  const uint64_t seed2 = util::hash_rand(seed, 0x0b5e55ed);
+  fj::for_range(0, total, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    Routed r = w[i];
+    const uint64_t fresh = util::hash_rand(seed2, i) >> 1;  // keep < 2^63
+    r.label = obl::oselect<uint64_t>(r.e.is_filler(), ~uint64_t{0}, fresh);
+    w[i] = r;
+  });
+
+  // Sort each bin by label (fixed pattern per bin).
+  vec<Routed> scratchv(total);
+  const slice<Routed> scratch = scratchv.s();
+  fj::for_range(0, bins.beta, 1, [&](size_t b) {
+    obl::bitonic_sort_ca(w.sub(b * bins.Z, bins.Z),
+                         scratch.sub(b * bins.Z, bins.Z), /*up=*/true,
+                         detail::ByLabel{});
+  });
+
+  // Detect label collisions between adjacent slots of a bin (negligible;
+  // re-randomized by the caller to keep the permutation exactly uniform).
+  vec<uint64_t> coll(total);
+  const slice<uint64_t> cl = coll.s();
+  fj::for_range(0, total, fj::kDefaultGrain, [&](size_t i) {
+    const bool same_bin = (i % bins.Z) != 0;
+    const Routed cur = w[i];
+    const Routed prev = w[i == 0 ? 0 : i - 1];
+    cl[i] = (same_bin && !cur.e.is_filler() && cur.label == prev.label) ? 1u
+                                                                        : 0u;
+  });
+  uint64_t collisions = 0;
+  for (size_t i = 0; i < total; ++i) collisions += cl[i];
+  if (collisions != 0) throw obl::BinOverflow{};
+
+  // Reveal loads: compact the real elements to the front (prefix sums).
+  // Input fillers (power-of-two padding) were dropped by ORBA and are
+  // re-materialized here as the output suffix.
+  size_t real_inputs = 0;
+  for (size_t i = 0; i < n; ++i) real_inputs += !in.raw(i).is_filler();
+  vec<obl::Elem> flatv(total);
+  const slice<obl::Elem> flat = flatv.s();
+  fj::for_range(0, total, fj::kDefaultGrain,
+                [&](size_t i) { flat[i] = w[i].e; });
+  const size_t live = obl::compact_reveal(flat);
+  if (live != real_inputs) throw obl::BinOverflow{};  // impossible post-ORBA
+  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) { out[i] = flat[i]; });
+}
+
+/// Obliviously permute `in` into `out` uniformly at random (|out| = |in|,
+/// any length — power-of-two padding is internal; real elements come out
+/// first, input fillers trail).
+template <class Sorter = obl::BitonicSorter>
+void orp(const slice<obl::Elem>& in, const slice<obl::Elem>& out,
+         uint64_t seed, SortParams params = {}, const Sorter& sorter = {}) {
+  using obl::Elem;
+  const size_t n = in.size();
+  const size_t padded = util::pow2_ceil(n < 2 ? 2 : n);
+  if (params.Z == 0) params = SortParams::auto_for(padded);
+
+  vec<Elem> pin(padded, Elem::filler());
+  vec<Elem> pout(padded);
+  const slice<Elem> pi = pin.s();
+  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) { pi[i] = in[i]; });
+
+  for (int attempt = 0; attempt < params.max_retries; ++attempt) {
+    try {
+      orp_attempt(pi, pout.s(), util::hash_rand(seed, 7'000 + attempt),
+                  params, sorter);
+      fj::for_range(0, n, fj::kDefaultGrain,
+                    [&](size_t i) { out[i] = pout.s()[i]; });
+      return;
+    } catch (const obl::BinOverflow&) {
+      continue;  // input-independent event; fresh randomness
+    }
+  }
+  throw PermuteFailure{};
+}
+
+}  // namespace dopar::core

@@ -1,0 +1,111 @@
+#pragma once
+// Data-oblivious sorting in the cache-agnostic binary fork-join model —
+// the paper's headline result (Theorem 3.2) and its practical variant
+// (Section 3.4 / E).
+//
+// Pipeline: oblivious random permutation (REC-ORBA + per-bin shuffle), then
+// any comparison-based sort of the permuted array:
+//   * Variant::Theoretical — parallel merge sort (our SPMS stand-in;
+//     substitution #2 in DESIGN.md). Work O(n log n), cache
+//     O((n/B) log_M n), span polylog.
+//   * Variant::Practical  — the paper's self-contained variant: pivot
+//     selection + REC-SORT + per-bin bitonic. Work O(n log n loglog n),
+//     span O(log^2 n loglog n), optimal cache — with small constants.
+//
+// Obliviousness: the permutation phase has input-independent access
+// patterns; the comparison phase's pattern depends only on the *random
+// ranks* of the input, which are uniform, hence simulatable (paper §C.4).
+//
+// Input of any length is accepted (power-of-two padding is internal); keys
+// must be < 2^64 - 1 (the filler sentinel) and the input must not carry
+// filler flags. Elem::extra is clobbered (it holds the permuted position
+// used for tie-breaking).
+
+#include <cassert>
+#include <cstdint>
+
+#include "core/orp.hpp"
+#include "core/params.hpp"
+#include "core/recsort.hpp"
+#include "forkjoin/api.hpp"
+#include "insecure/mergesort.hpp"
+#include "obl/elem.hpp"
+#include "sim/tracked.hpp"
+#include "util/bits.hpp"
+
+namespace dopar::core {
+
+enum class Variant {
+  Theoretical,  ///< ORP + parallel merge sort (SPMS stand-in)
+  Practical,    ///< ORP + REC-SORT (self-contained, Section E)
+};
+
+/// Obliviously sort `a` by key, ascending. See header comment for the
+/// contract. `seed` drives all internal randomness.
+template <class Sorter = obl::BitonicSorter>
+void osort(const slice<obl::Elem>& a, uint64_t seed,
+           Variant variant = Variant::Practical, SortParams params = {},
+           const Sorter& sorter = {}) {
+  using obl::Elem;
+  const size_t n = a.size();
+  if (n <= 1) return;
+  const size_t padded = util::pow2_ceil(n);
+  if (params.Z == 0) params = SortParams::auto_for(padded);
+
+  for (int attempt = 0;; ++attempt) {
+    vec<Elem> workv(padded, Elem::filler());
+    const slice<Elem> work = workv.s();
+    fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+      sim::tick(1);
+      work[i] = a[i];
+    });
+
+    vec<Elem> permv(padded);
+    const slice<Elem> perm = permv.s();
+    orp(work, perm, util::hash_rand(seed, 31 + attempt), params, sorter);
+
+    // Record the permuted position for tie-breaking duplicates.
+    fj::for_range(0, padded, fj::kDefaultGrain, [&](size_t i) {
+      sim::tick(1);
+      Elem e = perm[i];
+      e.extra = static_cast<uint32_t>(i);
+      perm[i] = e;
+    });
+
+    try {
+      if (variant == Variant::Theoretical) {
+        insecure::merge_sort(perm.first(n), LessKeyExtra{});
+      } else {
+        rec_sort(perm, util::hash_rand(seed, 77'000 + attempt), params);
+      }
+    } catch (const RecsortOverflow&) {
+      if (attempt + 1 >= params.max_retries) throw;
+      continue;  // permutation-randomness event: re-permute
+    } catch (const PivotFailure&) {
+      if (attempt + 1 >= params.max_retries) throw;
+      continue;
+    }
+
+    fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+      sim::tick(1);
+      a[i] = perm[i];
+    });
+    return;
+  }
+}
+
+/// Sorter policy that plugs the full oblivious sort into the composite
+/// primitives (send-receive, PRAM simulation, application pipelines),
+/// realizing their "sorting bound" rows in Table 2. Only Elem-by-key
+/// ascending orders are supported — exactly what those primitives request.
+struct OsortSorter {
+  uint64_t seed = 0x05027;
+  Variant variant = Variant::Theoretical;
+  mutable uint64_t calls = 0;
+
+  void operator()(const slice<obl::Elem>& a, obl::ByKey) const {
+    osort(a, util::hash_rand(seed, ++calls), variant);
+  }
+};
+
+}  // namespace dopar::core

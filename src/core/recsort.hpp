@@ -1,0 +1,237 @@
+#pragma once
+// REC-SORT: the paper's practical comparison sort for randomly permuted
+// arrays (Section E.2).
+//
+// Same gamma-way butterfly recursion as REC-ORBA, but elements are routed
+// by a precomputed sorted pivot array instead of random label bits: at the
+// base case a group of <= gamma bins is bitonic-sorted and split by the
+// pivots into its output bins; the recursive case sorts partitions by
+// coarse pivots (every beta1-th pivot), transposes the bin matrix, and
+// refines each row with its own pivot range. Afterwards every bin holds
+// exactly the elements of one inter-pivot range, in final bin order; one
+// bitonic pass per bin finishes the sort.
+//
+// Bins have variable load; capacity is twice the expected load and a
+// violation (probability exp(-Omega(bin size)), independent of the input
+// values thanks to the random permutation + position tie-breaks) raises
+// RecsortOverflow so the caller re-permutes. REC-SORT itself need not be
+// oblivious — the paper proves the access pattern of a comparison sort on
+// a randomly permuted input is simulatable.
+
+#include <cassert>
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/params.hpp"
+#include "core/pivots.hpp"
+#include "forkjoin/api.hpp"
+#include "obl/bitonic_ca.hpp"
+#include "obl/elem.hpp"
+#include "sim/tracked.hpp"
+#include "util/bits.hpp"
+#include "util/transpose.hpp"
+
+namespace dopar::core {
+
+struct RecsortOverflow : std::runtime_error {
+  RecsortOverflow() : std::runtime_error("REC-SORT: bin overflow") {}
+};
+
+namespace detail {
+
+using obl::Elem;
+
+/// Binary search: first index in [0, n) of sorted `a` not less than x.
+inline size_t lb(const slice<Elem>& a, size_t n, const Elem& x,
+                 const LessKeyExtra& less) {
+  size_t lo = 0, hi = n;
+  while (lo < hi) {
+    sim::tick(1);
+    const size_t mid = lo + (hi - lo) / 2;
+    if (less(a[mid], x)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// State: nbins bins of capacity `cap`, slots beyond `count[b]` are
+/// fillers. `data` is the flat bin storage, `count` the per-bin loads.
+struct RsView {
+  slice<Elem> data;
+  slice<uint32_t> count;
+  size_t cap;
+};
+
+/// Base case: gather <= gamma bins, bitonic sort, split by the nbins-1
+/// pivots into nbins output bins (written back into the same storage).
+inline void recsort_base(const RsView& v, size_t nbins,
+                         const slice<Elem>& pivots) {
+  const LessKeyExtra less{};
+  const size_t total = nbins * v.cap;
+  const size_t padded = util::pow2_ceil(total);
+  vec<Elem> tmpv(padded, Elem::filler());
+  const slice<Elem> tmp = tmpv.s();
+  fj::for_range(0, total, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    tmp[i] = v.data[i];
+  });
+  obl::bitonic_sort_ca(tmp, /*up=*/true, less);
+
+  size_t live = 0;
+  for (size_t b = 0; b < nbins; ++b) live += v.count[b];
+
+  // Segment boundaries: bin j receives [start[j], start[j+1]).
+  vec<uint64_t> startv(nbins + 1);
+  const slice<uint64_t> start = startv.s();
+  start[0] = 0;
+  start[nbins] = live;
+  fj::for_range(1, nbins, fj::kDefaultGrain, [&](size_t j) {
+    start[j] = lb(tmp, live, pivots[j - 1], less);
+  });
+
+  for (size_t j = 0; j < nbins; ++j) {
+    const size_t len = start[j + 1] - start[j];
+    if (len > v.cap) throw RecsortOverflow{};
+    v.count[j] = static_cast<uint32_t>(len);
+  }
+  fj::for_range(0, nbins, 1, [&](size_t j) {
+    const size_t lo = start[j], len = start[j + 1] - start[j];
+    for (size_t k = 0; k < v.cap; ++k) {
+      sim::tick(1);
+      v.data[j * v.cap + k] = k < len ? tmp[lo + k] : Elem::filler();
+    }
+  });
+}
+
+inline void recsort_rec(const RsView& v, size_t nbins, size_t gamma,
+                        const slice<Elem>& pivots) {
+  assert(pivots.size() == nbins - 1);
+  if (nbins <= gamma) {
+    recsort_base(v, nbins, pivots);
+    return;
+  }
+  const unsigned bits = util::log2_exact(nbins);
+  const size_t beta1 = size_t{1} << ((bits + 1) / 2);
+  const size_t beta2 = nbins / beta1;
+
+  // Coarse pivots: every beta1-th pivot separates the beta2 phase-1 ranges.
+  vec<Elem> coarsev(beta2 - 1);
+  const slice<Elem> coarse = coarsev.s();
+  fj::for_range(0, beta2 - 1, fj::kDefaultGrain, [&](size_t d) {
+    sim::tick(1);
+    coarse[d] = pivots[(d + 1) * beta1 - 1];
+  });
+
+  // Phase 1: each partition of beta2 consecutive bins splits into the
+  // beta2 coarse ranges.
+  fj::for_range(0, beta1, 1, [&](size_t j) {
+    RsView sub{v.data.sub(j * beta2 * v.cap, beta2 * v.cap),
+               v.count.sub(j * beta2, beta2), v.cap};
+    recsort_rec(sub, beta2, gamma, coarse);
+  });
+
+  // Transpose bins (and their load counters): row d of the transposed
+  // matrix holds, from every partition, the bin destined for coarse range
+  // d — i.e. one phase-2 subproblem.
+  vec<Elem> dscratchv(nbins * v.cap);
+  vec<uint32_t> cscratchv(nbins);
+  const slice<Elem> dscratch = dscratchv.s();
+  const slice<uint32_t> cscratch = cscratchv.s();
+  util::transpose_blocks(v.data, dscratch, beta1, beta2, v.cap);
+  util::transpose_blocks(v.count, cscratch, beta1, beta2, size_t{1});
+
+  // Phase 2: refine each row with its own pivot range
+  // pivots[d*beta1 .. d*beta1 + beta1 - 2].
+  fj::for_range(0, beta2, 1, [&](size_t d) {
+    RsView sub{dscratch.sub(d * beta1 * v.cap, beta1 * v.cap),
+               cscratch.sub(d * beta1, beta1), v.cap};
+    recsort_rec(sub, beta1, gamma, pivots.sub(d * beta1, beta1 - 1));
+  });
+
+  fj::for_range(0, nbins * v.cap, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    v.data[i] = dscratch[i];
+  });
+  fj::for_range(0, nbins, fj::kDefaultGrain,
+                [&](size_t i) { v.count[i] = cscratch[i]; });
+}
+
+}  // namespace detail
+
+/// Sort the randomly permuted array `a` (|a| a power of two). Fillers, if
+/// any, must form a suffix of `a` (the natural shape after power-of-two
+/// padding); they end up as a suffix of the output. Elem::extra must hold
+/// the permuted position for tie-breaking. Throws RecsortOverflow
+/// (re-permute and retry) with negligible probability.
+inline void rec_sort(const slice<obl::Elem>& a, uint64_t seed,
+                     const SortParams& params) {
+  using obl::Elem;
+  const size_t n = a.size();
+  assert(util::is_pow2(n));
+  const LessKeyExtra less{};
+
+  size_t live_total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (a.raw(i).is_filler()) break;
+    ++live_total;
+  }
+
+  const size_t bin = params.rec_bin >= n ? n : params.rec_bin;
+  const size_t r = n / bin;
+  if (r <= 2 || live_total < 4 * r) {
+    // Tiny input (or nearly-all-filler padding): one bitonic pass suffices.
+    obl::bitonic_sort_ca(a, /*up=*/true, less);
+    return;
+  }
+
+  vec<Elem> pivots = select_pivots(a.first(live_total), r, seed);
+
+  // Initial bins: r bins of `bin` consecutive elements, capacity 2x.
+  // Loads count only live elements (fillers are a suffix of `a`).
+  const size_t cap = 2 * bin;
+  vec<Elem> datav(r * cap, Elem::filler());
+  vec<uint32_t> countv(r);
+  const slice<Elem> data = datav.s();
+  const slice<uint32_t> count = countv.s();
+  fj::for_range(0, r, 1, [&](size_t b) {
+    for (size_t k = 0; k < bin; ++k) {
+      sim::tick(1);
+      data[b * cap + k] = a[b * bin + k];
+    }
+    const size_t lo = b * bin;
+    const size_t live_here =
+        live_total <= lo ? 0 : (live_total - lo < bin ? live_total - lo : bin);
+    count[b] = static_cast<uint32_t>(live_here);
+  });
+
+  detail::recsort_rec(detail::RsView{data, count, cap}, r, params.gamma,
+                      pivots.s());
+
+  // Final touch: bitonic-sort each bin (fillers sink), then concatenate.
+  fj::for_range(0, r, 1, [&](size_t b) {
+    vec<Elem> local_scratch(cap);
+    obl::bitonic_sort_ca(data.sub(b * cap, cap), local_scratch.s(),
+                         /*up=*/true, less);
+  });
+
+  // Prefix sums of loads give each bin's output offset.
+  vec<uint64_t> offs(r);
+  const slice<uint64_t> of = offs.s();
+  const uint64_t total = obl::prefix_sum_exclusive(
+      count, of, [](const uint32_t& c) { return uint64_t{c}; });
+  if (total != live_total) throw RecsortOverflow{};  // lost elements
+  fj::for_range(0, r, 1, [&](size_t b) {
+    const size_t base = of[b], cnt = count[b];
+    for (size_t k = 0; k < cnt; ++k) {
+      sim::tick(1);
+      a[base + k] = data[b * cap + k];
+    }
+  });
+  fj::for_range(live_total, n, fj::kDefaultGrain,
+                [&](size_t i) { a[i] = Elem::filler(); });
+}
+
+}  // namespace dopar::core

@@ -1,0 +1,83 @@
+#pragma once
+// The binary fork-join programming API used by every dopar algorithm.
+//
+//   fj::invoke(a, b)                 — binary fork-join (the only source of
+//                                      parallelism, per the paper's model)
+//   fj::for_range(lo, hi, grain, f)  — k-way parallel loop built by binary
+//                                      forking in a balanced tree (log k
+//                                      fork depth, exactly the "fork n
+//                                      threads in a binary-tree fashion"
+//                                      convention of the paper)
+//
+// Dispatch:
+//   * analytic mode (a sim::Session is installed): execute serially and
+//     combine child costs at joins — span(a||b) = max + 1, work = sum + 1.
+//   * a global Pool is installed and we are on a worker thread: real
+//     work-stealing parallel execution.
+//   * otherwise: plain serial execution.
+
+#include <cstddef>
+#include <utility>
+
+#include "forkjoin/pool.hpp"
+#include "sim/session.hpp"
+
+namespace dopar::fj {
+
+template <class A, class B>
+void invoke(A&& a, B&& b) {
+  if (sim::Session* s = sim::current_session()) {
+    const sim::Cost parent = s->exchange_cost({});
+    a();
+    const sim::Cost ca = s->exchange_cost({});
+    b();
+    const sim::Cost cb = s->exchange_cost({});
+    s->join2(parent, ca, cb);
+    return;
+  }
+  if (Pool* p = Pool::instance(); p && Pool::on_worker_thread()) {
+    p->fork2(std::forward<A>(a), std::forward<B>(b));
+    return;
+  }
+  a();
+  b();
+}
+
+/// Parallel loop over [lo, hi): recursively halves the range with binary
+/// forks until subranges have at most `grain` iterations, then runs
+/// f(i) serially. Span contribution: O(log((hi-lo)/grain) + grain).
+template <class F>
+void for_range(size_t lo, size_t hi, size_t grain, F&& f) {
+  if (hi <= lo) return;
+  // In analytic mode the grain must not flatten the fork tree, or span
+  // measurements would report O(grain) extra depth; force full recursion.
+  if (sim::current_session() && grain > 1) grain = 1;
+  if (hi - lo <= grain) {
+    for (size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  const size_t mid = lo + (hi - lo) / 2;
+  invoke([&] { for_range(lo, mid, grain, f); },
+         [&] { for_range(mid, hi, grain, f); });
+}
+
+/// Blocked variant: f(blockLo, blockHi) on subranges of size <= grain.
+/// Useful when the body wants to run a tight serial loop itself.
+template <class F>
+void for_blocks(size_t lo, size_t hi, size_t grain, F&& f) {
+  if (hi <= lo) return;
+  if (sim::current_session() && grain > 1) grain = 1;  // see for_range
+  if (hi - lo <= grain) {
+    f(lo, hi);
+    return;
+  }
+  const size_t mid = lo + (hi - lo) / 2;
+  invoke([&] { for_blocks(lo, mid, grain, f); },
+         [&] { for_blocks(mid, hi, grain, f); });
+}
+
+/// Default grain: fine enough that span measurements reflect the
+/// asymptotics, coarse enough that native runs are not fork-bound.
+inline constexpr size_t kDefaultGrain = 512;
+
+}  // namespace dopar::fj

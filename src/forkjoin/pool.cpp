@@ -1,0 +1,119 @@
+#include "forkjoin/pool.hpp"
+
+#include <chrono>
+
+namespace dopar::fj {
+
+int& Pool::tls_worker_id() {
+  thread_local int id = -1;
+  return id;
+}
+
+Pool*& Pool::instance() {
+  static Pool* p = nullptr;
+  return p;
+}
+
+Pool::Pool(unsigned helpers) {
+  queues_.reserve(helpers + 1);
+  for (unsigned i = 0; i < helpers + 1; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(helpers);
+  for (unsigned i = 0; i < helpers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i + 1); });
+  }
+}
+
+Pool::~Pool() {
+  shutdown_.store(true, std::memory_order_release);
+  sleep_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void Pool::push_local(Task* t) {
+  WorkerQueue& wq = *queues_[static_cast<unsigned>(tls_worker_id())];
+  {
+    std::lock_guard<std::mutex> lk(wq.m);
+    wq.q.push_back(t);
+  }
+  sleep_cv_.notify_one();
+}
+
+bool Pool::pop_local_if(Task* t) {
+  WorkerQueue& wq = *queues_[static_cast<unsigned>(tls_worker_id())];
+  std::lock_guard<std::mutex> lk(wq.m);
+  if (!wq.q.empty() && wq.q.back() == t) {
+    wq.q.pop_back();
+    return true;
+  }
+  return false;
+}
+
+Task* Pool::try_pop_local() {
+  WorkerQueue& wq = *queues_[static_cast<unsigned>(tls_worker_id())];
+  std::lock_guard<std::mutex> lk(wq.m);
+  if (wq.q.empty()) return nullptr;
+  Task* t = wq.q.back();
+  wq.q.pop_back();
+  return t;
+}
+
+Task* Pool::try_steal(unsigned self) {
+  const unsigned n = workers();
+  // Randomized victim selection per Blumofe-Leiserson.
+  uint64_t seed = steal_seed_.fetch_add(0x9e3779b97f4a7c15ULL,
+                                        std::memory_order_relaxed);
+  seed ^= seed >> 33;
+  seed *= 0xff51afd7ed558ccdULL;
+  for (unsigned attempt = 0; attempt < n; ++attempt) {
+    const unsigned v = static_cast<unsigned>((seed + attempt) % n);
+    if (v == self) continue;
+    WorkerQueue& wq = *queues_[v];
+    std::lock_guard<std::mutex> lk(wq.m);
+    if (!wq.q.empty()) {
+      Task* t = wq.q.front();  // steal from the top: oldest, largest task
+      wq.q.pop_front();
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+Task* Pool::find_task(unsigned self) {
+  if (Task* t = try_pop_local()) return t;
+  return try_steal(self);
+}
+
+void Pool::help_until(std::atomic<uint32_t>& pending) {
+  const unsigned self = static_cast<unsigned>(tls_worker_id());
+  while (pending.load(std::memory_order_acquire) != 0) {
+    if (Task* t = find_task(self)) {
+      t->run();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void Pool::worker_loop(unsigned id) {
+  tls_worker_id() = static_cast<int>(id);
+  unsigned idle_rounds = 0;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (Task* t = find_task(id)) {
+      t->run();
+      idle_rounds = 0;
+      continue;
+    }
+    if (++idle_rounds > 64) {
+      std::unique_lock<std::mutex> lk(sleep_m_);
+      sleep_cv_.wait_for(lk, std::chrono::milliseconds(1));
+      idle_rounds = 0;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  tls_worker_id() = -1;
+}
+
+}  // namespace dopar::fj

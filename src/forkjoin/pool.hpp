@@ -1,0 +1,138 @@
+#pragma once
+// Work-stealing thread pool for binary fork-join computations.
+//
+// This is the multicore substrate of the paper (Section A.2): parallelism is
+// expressed only through paired binary fork/join; scheduling is randomized
+// work stealing in the style of Blumofe–Leiserson. Each worker owns a deque;
+// forks push the second branch to the bottom, the first branch runs inline,
+// and a join either pops the un-stolen branch back (the common fast path) or
+// helps execute other tasks until the stolen branch completes.
+//
+// The deques are mutex-protected rather than lock-free Chase-Lev: this keeps
+// the scheduler obviously correct, and the library's measured quantities
+// (work/span/cache) come from the analytic executor, not wall-clock timing.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dopar::fj {
+
+/// A forked-but-not-yet-joined task. Lives on the forker's stack: fork2
+/// blocks until both branches complete, so the storage outlives all uses.
+struct Task {
+  void (*exec)(Task*) = nullptr;
+  std::atomic<uint32_t>* pending = nullptr;
+
+  void run() {
+    exec(this);
+    pending->fetch_sub(1, std::memory_order_acq_rel);
+  }
+};
+
+class Pool {
+ public:
+  /// Spawns `helpers` background workers; the thread that calls run()
+  /// participates as worker 0, so total parallelism is helpers + 1.
+  explicit Pool(unsigned helpers);
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  unsigned workers() const { return static_cast<unsigned>(queues_.size()); }
+
+  /// Execute `root` with the calling thread registered as worker 0.
+  /// All forks performed inside have joined by the time this returns.
+  template <class Root>
+  void run(Root&& root) {
+    const int prev = tls_worker_id();
+    tls_worker_id() = 0;
+    root();
+    tls_worker_id() = prev;
+  }
+
+  /// Binary fork: runs `a` inline while exposing `b` for stealing, then
+  /// joins. Must be called on a worker thread (including worker 0 inside
+  /// run()); calls from foreign threads execute serially.
+  template <class A, class B>
+  void fork2(A&& a, B&& b) {
+    if (tls_worker_id() < 0) {
+      a();
+      b();
+      return;
+    }
+    using Bfn = std::remove_reference_t<B>;
+    struct BranchTask : Task {
+      Bfn* fn;
+    };
+    std::atomic<uint32_t> pending{1};
+    BranchTask t;
+    t.fn = &b;
+    t.pending = &pending;
+    t.exec = [](Task* base) { (*static_cast<BranchTask*>(base)->fn)(); };
+    push_local(&t);
+    a();
+    if (pop_local_if(&t)) {
+      b();  // nobody stole it; run the branch inline
+      return;
+    }
+    help_until(pending);
+  }
+
+  /// Globally installed pool (see WithPool); null when absent.
+  static Pool*& instance();
+  static bool on_worker_thread() { return tls_worker_id() >= 0; }
+
+ private:
+  struct WorkerQueue {
+    std::mutex m;
+    std::deque<Task*> q;
+  };
+
+  static int& tls_worker_id();
+
+  void push_local(Task* t);
+  bool pop_local_if(Task* t);
+  Task* try_pop_local();
+  Task* try_steal(unsigned self);
+  Task* find_task(unsigned self);
+  void help_until(std::atomic<uint32_t>& pending);
+  void worker_loop(unsigned id);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> shutdown_{false};
+  std::mutex sleep_m_;
+  std::condition_variable sleep_cv_;
+  std::atomic<uint64_t> steal_seed_{0x9e3779b97f4a7c15ULL};
+};
+
+/// RAII helper: constructs a pool and installs it as the global instance so
+/// that fj::invoke (api.hpp) dispatches to it.
+class WithPool {
+ public:
+  explicit WithPool(unsigned helpers) : pool_(helpers) {
+    prev_ = Pool::instance();
+    Pool::instance() = &pool_;
+  }
+  ~WithPool() { Pool::instance() = prev_; }
+
+  template <class Root>
+  void run(Root&& root) {
+    pool_.run(std::forward<Root>(root));
+  }
+  Pool& pool() { return pool_; }
+
+ private:
+  Pool pool_;
+  Pool* prev_;
+};
+
+}  // namespace dopar::fj

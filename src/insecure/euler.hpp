@@ -1,0 +1,111 @@
+#pragma once
+// Insecure Euler tour + rooted-tree functions baseline (paper §5.2's
+// starting point): direct sorting and indexing, then pointer-jumping list
+// ranking. Same outputs as apps/euler.hpp, no obliviousness.
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "insecure/listrank.hpp"
+
+namespace dopar::insecure {
+
+struct Edge {
+  uint32_t u, v;
+};
+
+inline std::vector<uint64_t> euler_tour(const std::vector<Edge>& edges,
+                                        uint32_t root) {
+  const size_t m = edges.size();
+  const size_t dm = 2 * m;
+  // Sorted directed edges: (tail, head, id).
+  struct D {
+    uint64_t key;
+    uint64_t id;
+  };
+  std::vector<D> d(dm);
+  for (size_t e = 0; e < dm; ++e) {
+    const Edge& ed = edges[e < m ? e : e - m];
+    const uint64_t x = e < m ? ed.u : ed.v;
+    const uint64_t y = e < m ? ed.v : ed.u;
+    d[e] = D{(x << 32) | y, e};
+  }
+  std::sort(d.begin(), d.end(),
+            [](const D& a, const D& b) { return a.key < b.key; });
+  // Adjsucc per sorted position, then tau(e) = Adjsucc(rev(e)).
+  std::vector<uint64_t> adjsucc(dm);  // by edge id
+  size_t group_start = 0;
+  for (size_t p = 0; p < dm; ++p) {
+    if (p + 1 == dm || (d[p + 1].key >> 32) != (d[p].key >> 32)) {
+      adjsucc[d[p].id] = d[group_start].id;  // wrap to group head
+      group_start = p + 1;
+    } else {
+      adjsucc[d[p].id] = d[p + 1].id;
+    }
+  }
+  // First edge of Adj(root).
+  uint64_t e0 = ~uint64_t{0};
+  for (size_t p = 0; p < dm; ++p) {
+    if ((d[p].key >> 32) == root) {
+      e0 = d[p].id;
+      break;
+    }
+  }
+  std::vector<uint64_t> tour(dm);
+  for (size_t e = 0; e < dm; ++e) {
+    const size_t re = e < m ? e + m : e - m;
+    const uint64_t t = adjsucc[re];
+    tour[e] = t == e0 ? e : t;
+  }
+  return tour;
+}
+
+struct TreeFunctions {
+  std::vector<uint64_t> parent, depth, preorder, subtree;
+};
+
+inline TreeFunctions tree_functions(const std::vector<Edge>& edges,
+                                    uint32_t root) {
+  const size_t m = edges.size();
+  const size_t dm = 2 * m;
+  const size_t n = m + 1;
+  std::vector<uint64_t> tour = euler_tour(edges, root);
+  std::vector<uint64_t> unit = list_rank(tour);
+  std::vector<uint64_t> pos(dm);
+  for (size_t e = 0; e < dm; ++e) pos[e] = (dm - 1) - unit[e];
+  std::vector<uint64_t> down(dm), up(dm);
+  for (size_t e = 0; e < dm; ++e) {
+    const size_t re = e < m ? e + m : e - m;
+    down[e] = pos[e] < pos[re] ? 1 : 0;
+    up[e] = 1 - down[e];
+  }
+  std::vector<uint64_t> rank_down = list_rank(tour, down);
+  std::vector<uint64_t> rank_up = list_rank(tour, up);
+
+  TreeFunctions tf;
+  tf.parent.assign(n, root);
+  tf.depth.assign(n, 0);
+  tf.preorder.assign(n, 0);
+  tf.subtree.assign(n, 1);
+  tf.subtree[root] = n;
+  for (size_t e = 0; e < dm; ++e) {
+    if (!down[e]) continue;
+    const Edge& ed = edges[e < m ? e : e - m];
+    const uint32_t u = e < m ? ed.u : ed.v;
+    const uint32_t v = e < m ? ed.v : ed.u;
+    // See apps/euler.hpp: the rank convention excludes the tour tail (an
+    // up edge), so up-suffixes are short by one.
+    const uint64_t pre_down = m - rank_down[e] + 1;
+    const uint64_t pre_up = (dm - m) - rank_up[e] - 1;
+    tf.parent[v] = u;
+    tf.depth[v] = pre_down - pre_up;
+    tf.preorder[v] = pre_down;
+    const size_t re = e < m ? e + m : e - m;
+    tf.subtree[v] = (pos[re] - pos[e] + 1) / 2;
+  }
+  return tf;
+}
+
+}  // namespace dopar::insecure

@@ -1,0 +1,149 @@
+#pragma once
+// Insecure graph baselines: (a) serial union-find / Kruskal as correctness
+// oracles, (b) parallel hook-and-jump CC and Borůvka MSF with *direct*
+// (non-oblivious) memory access — the "previous best insecure" column of
+// Table 1 for CC/MSF. The parallel variants share the round structure of
+// the oblivious versions, so ratios isolate the cost of obliviousness.
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "apps/cc.hpp"  // GEdge
+#include "forkjoin/api.hpp"
+#include "sim/tracked.hpp"
+#include "util/bits.hpp"
+
+namespace dopar::insecure {
+
+/// Serial union-find (oracle).
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : p_(n) {
+    std::iota(p_.begin(), p_.end(), 0);
+  }
+  size_t find(size_t x) {
+    while (p_[x] != x) {
+      p_[x] = p_[p_[x]];
+      x = p_[x];
+    }
+    return x;
+  }
+  bool unite(size_t a, size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (a < b) std::swap(a, b);
+    p_[a] = b;  // smaller id wins, matching the oblivious labeling
+    return true;
+  }
+
+ private:
+  std::vector<size_t> p_;
+};
+
+/// Oracle CC labels: min vertex id per component.
+inline std::vector<uint64_t> cc_oracle(size_t n,
+                                       const std::vector<apps::GEdge>& edges) {
+  UnionFind uf(n);
+  for (const auto& e : edges) uf.unite(e.u, e.v);
+  std::vector<uint64_t> label(n);
+  for (size_t i = 0; i < n; ++i) label[i] = uf.find(i);
+  return label;
+}
+
+/// Oracle MSF via Kruskal (distinct weights assumed): total weight.
+inline uint64_t msf_weight_oracle(size_t n,
+                                  const std::vector<apps::GEdge>& edges) {
+  std::vector<size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (edges[a].w != edges[b].w) return edges[a].w < edges[b].w;
+    return a < b;
+  });
+  UnionFind uf(n);
+  uint64_t total = 0;
+  for (size_t e : order) {
+    if (uf.unite(edges[e].u, edges[e].v)) total += edges[e].w;
+  }
+  return total;
+}
+
+/// Parallel (insecure) CC: hook-to-min + pointer doubling with direct
+/// array indexing. Same round structure as the oblivious algorithm.
+inline std::vector<uint64_t> connected_components(
+    size_t n, const std::vector<apps::GEdge>& edges) {
+  const size_t m = edges.size();
+  vec<uint64_t> Pv(n);
+  const slice<uint64_t> P = Pv.s();
+  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) { P[i] = i; });
+  const unsigned rounds = 2 * util::log2_ceil(n < 2 ? 2 : n) + 4;
+  for (unsigned r = 0; r < rounds; ++r) {
+    fj::for_range(0, m, fj::kDefaultGrain, [&](size_t e) {
+      sim::tick(1);
+      const uint64_t a = P[edges[e].u], b = P[edges[e].v];
+      if (a != b) {
+        const uint64_t mx = a > b ? a : b, mn = a > b ? b : a;
+        // Benign write race: all proposals are component-internal minima;
+        // the min eventually sticks through subsequent rounds.
+        if (mn < P[mx]) P[mx] = mn;
+      }
+    });
+    for (int j = 0; j < 2; ++j) {
+      fj::for_range(0, n, fj::kDefaultGrain,
+                    [&](size_t i) { P[i] = P[P[i]]; });
+    }
+  }
+  for (unsigned r = 0; r < util::log2_ceil(n < 2 ? 2 : n) + 1; ++r) {
+    fj::for_range(0, n, fj::kDefaultGrain,
+                  [&](size_t i) { P[i] = P[P[i]]; });
+  }
+  std::vector<uint64_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = P[i];
+  return out;
+}
+
+/// Parallel (insecure) Borůvka MSF flags, mirroring apps::msf_oblivious.
+inline std::vector<uint8_t> msf(size_t n,
+                                const std::vector<apps::GEdge>& edges) {
+  const size_t m = edges.size();
+  std::vector<uint8_t> in_msf(m, 0);
+  if (m == 0 || n <= 1) return in_msf;
+  vec<uint64_t> Pv(n), bestv(n);
+  const slice<uint64_t> P = Pv.s(), BEST = bestv.s();
+  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) { P[i] = i; });
+  const uint64_t kNone = ~uint64_t{0};
+  const unsigned rounds = util::log2_ceil(n) + 2;
+  for (unsigned r = 0; r < rounds; ++r) {
+    fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) { BEST[i] = kNone; });
+    for (size_t e = 0; e < m; ++e) {  // serial min-selection (insecure)
+      const uint64_t a = P[edges[e].u], b = P[edges[e].v];
+      if (a == b) continue;
+      const uint64_t packed = (edges[e].w << 32) | e;
+      if (packed < BEST[a]) BEST[a] = packed;
+      if (packed < BEST[b]) BEST[b] = packed;
+    }
+    fj::for_range(0, m, fj::kDefaultGrain, [&](size_t e) {
+      sim::tick(1);
+      const uint64_t a = P[edges[e].u], b = P[edges[e].v];
+      if (a == b) return;
+      const uint64_t packed = (edges[e].w << 32) | e;
+      if (BEST[a] == packed || BEST[b] == packed) in_msf[e] = 1;
+    });
+    for (size_t e = 0; e < m; ++e) {
+      if (!in_msf[e]) continue;
+      const uint64_t a = P[edges[e].u], b = P[edges[e].v];
+      if (a == b) continue;
+      const uint64_t mx = a > b ? a : b, mn = a > b ? b : a;
+      if (mn < P[mx]) P[mx] = mn;
+    }
+    for (unsigned j = 0; j < util::log2_ceil(n) + 1; ++j) {
+      fj::for_range(0, n, fj::kDefaultGrain,
+                    [&](size_t i) { P[i] = P[P[i]]; });
+    }
+  }
+  return in_msf;
+}
+
+}  // namespace dopar::insecure

@@ -1,0 +1,57 @@
+#pragma once
+// Insecure (non-oblivious) parallel list ranking baseline: Wyllie pointer
+// jumping directly on the input arrays. O(n log n) work, O(log^2 n) span
+// under binary forking — the "previous best insecure" row of Table 1
+// (asymptotically; [CR12a] additionally achieves the sorting cache bound,
+// which our oblivious version inherits from its ORP phase).
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "forkjoin/api.hpp"
+#include "sim/tracked.hpp"
+#include "util/bits.hpp"
+
+namespace dopar::insecure {
+
+/// rank[i] = sum of weight[j] from i (inclusive) to the tail (exclusive);
+/// tail = node with succ[i] == i. Same convention as the oblivious version.
+inline std::vector<uint64_t> list_rank(const std::vector<uint64_t>& succ,
+                                       const std::vector<uint64_t>& weight) {
+  const size_t n = succ.size();
+  assert(weight.size() == n);
+  if (n == 0) return {};
+  vec<uint64_t> nxt(n), rank(n), nxt2(n), rank2(n);
+  const slice<uint64_t> nx = nxt.s(), rk = rank.s();
+  const slice<uint64_t> nx2 = nxt2.s(), rk2 = rank2.s();
+  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    const bool tail = succ[i] == i;
+    nx[i] = succ[i];
+    rk[i] = tail ? 0 : weight[i];
+  });
+  const unsigned rounds = n <= 1 ? 0 : util::log2_ceil(n) + 1;
+  for (unsigned r = 0; r < rounds; ++r) {
+    fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+      sim::tick(1);
+      const uint64_t s = nx[i];
+      rk2[i] = rk[i] + (s == i ? 0 : rk[s]);
+      nx2[i] = nx[s];
+    });
+    fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+      sim::tick(1);
+      rk[i] = rk2[i];
+      nx[i] = nx2[i];
+    });
+  }
+  std::vector<uint64_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = rk[i];
+  return out;
+}
+
+inline std::vector<uint64_t> list_rank(const std::vector<uint64_t>& succ) {
+  return list_rank(succ, std::vector<uint64_t>(succ.size(), 1));
+}
+
+}  // namespace dopar::insecure

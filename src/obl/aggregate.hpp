@@ -1,0 +1,91 @@
+#pragma once
+// Oblivious aggregation in a sorted array (paper Section F, Table 2).
+//
+// Input: an Elem array sorted so equal keys are consecutive. Every element
+// learns the fold (under a commutative+associative op on payloads) of the
+// elements of its group at or after its own position — the "sum of all
+// elements belonging to its group, and appearing to its right". Realized as
+// a segmented inclusive suffix scan: O(n) work, O(log n) span, O(n/B)
+// cache, fixed access pattern. An exclusive variant is derived with one
+// extra fixed-pattern pass.
+
+#include <cstdint>
+
+#include "forkjoin/api.hpp"
+#include "obl/elem.hpp"
+#include "obl/oswap.hpp"
+#include "obl/scan.hpp"
+#include "sim/tracked.hpp"
+
+namespace dopar::obl {
+
+namespace detail {
+
+struct AggSeg {
+  uint64_t value = 0;
+  uint64_t tail = 0;  // 1 iff this position ends a key-group
+};
+
+template <class Op>
+struct AggCombine {
+  Op op;
+  // comb(earlier, later): if the earlier element closes a group, values
+  // from the right must not flow into it.
+  AggSeg operator()(const AggSeg& x, const AggSeg& y) const {
+    AggSeg out = x;
+    const uint64_t folded = op(x.value, y.value);
+    oassign(x.tail == 0, out.value, folded);
+    out.tail = x.tail | y.tail;
+    return out;
+  }
+};
+
+}  // namespace detail
+
+/// Inclusive suffix aggregation: payload[i] <- op-fold of payload[j] for
+/// j >= i in i's key-group.
+template <class Op>
+void aggregate_suffix(const slice<Elem>& a, const Op& op) {
+  const size_t n = a.size();
+  if (n <= 1) return;
+  vec<detail::AggSeg> segs(n);
+  const slice<detail::AggSeg> sg = segs.s();
+  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    const Elem e = a[i];
+    const bool tail = (i + 1 == n) || (a[i + 1].key != e.key);
+    sg[i] = detail::AggSeg{e.payload, tail ? 1u : 0u};
+  });
+  scan_inclusive_reverse(sg, detail::AggCombine<Op>{op});
+  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    Elem e = a[i];
+    e.payload = sg[i].value;
+    a[i] = e;
+  });
+}
+
+/// Exclusive variant: payload[i] <- op-fold of payload[j] for j > i in i's
+/// key-group; elements that are the last of their group get `empty`.
+template <class Op>
+void aggregate_suffix_exclusive(const slice<Elem>& a, const Op& op,
+                                uint64_t empty) {
+  const size_t n = a.size();
+  if (n == 0) return;
+  aggregate_suffix(a, op);
+  vec<uint64_t> folded(n);
+  const slice<uint64_t> fo = folded.s();
+  fj::for_range(0, n, fj::kDefaultGrain,
+                [&](size_t i) { fo[i] = a[i].payload; });
+  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    Elem e = a[i];
+    const bool tail = (i + 1 == n) || (a[i + 1].key != e.key);
+    // Fixed access pattern: always read a successor slot, then select.
+    const uint64_t next = fo[i + 1 == n ? i : i + 1];
+    e.payload = oselect(tail, empty, next);
+    a[i] = e;
+  });
+}
+
+}  // namespace dopar::obl

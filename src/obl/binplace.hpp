@@ -1,0 +1,172 @@
+#pragma once
+// Oblivious bin placement (Chan–Shi; paper Section C.1).
+//
+// Given an input array whose real elements each carry a destination bin
+// g in [beta), place every real element into its bin and pad each bin with
+// fillers to capacity Z, revealing nothing about the bin choices. It is
+// *promised* that no bin receives more than Z elements (overflow is
+// detected and reported so callers can re-randomize; see core/orba.hpp).
+//
+// Realized with O(1) oblivious sorts + one segmented scan:
+//   1. append Z "temp" elements per bin (so every bin has >= Z candidates),
+//   2. sort by (bin, real-before-temp),
+//   3. mark everything at offset >= Z within its bin as excess,
+//   4. sort the excess and input fillers to the back,
+//   5. keep the first beta*Z slots; temps become fillers.
+// All data-dependent decisions go through branchless selects; the access
+// pattern is a fixed function of (|input|, beta, Z).
+//
+// The routine is generic over the record type R through a Traits policy so
+// REC-ORBA can route (label, element) pairs; RecordTraits<obl::Elem> is the
+// default for plain Elem arrays.
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include "forkjoin/api.hpp"
+#include "obl/elem.hpp"
+#include "obl/oswap.hpp"
+#include "obl/scan.hpp"
+#include "obl/sorter.hpp"
+#include "sim/tracked.hpp"
+#include "util/bits.hpp"
+
+namespace dopar::obl {
+
+/// Thrown when the bin-capacity promise is violated (probability negligible
+/// for the parameter choices of Section C.2; callers retry with fresh
+/// randomness — the event is independent of the input data).
+struct BinOverflow : std::runtime_error {
+  BinOverflow() : std::runtime_error("oblivious bin placement: bin overflow") {}
+};
+
+/// Traits a record type must provide for bin placement.
+template <class R>
+struct RecordTraits;
+
+template <>
+struct RecordTraits<Elem> {
+  static bool is_filler(const Elem& e) { return e.is_filler(); }
+  static Elem filler() { return Elem::filler(); }
+};
+
+namespace detail {
+
+/// Work record: the user record plus a scratch sort key. The two low bits
+/// of skey encode the class (real=0, temp=1), the rest the bin id; fillers
+/// get the sink key.
+template <class R>
+struct BinItem {
+  R r;
+  uint64_t skey = 0;
+
+  static constexpr uint64_t kSinkKey = std::numeric_limits<uint64_t>::max();
+};
+
+struct BinBySkey {
+  template <class R>
+  bool operator()(const BinItem<R>& a, const BinItem<R>& b) const {
+    return a.skey < b.skey;
+  }
+};
+
+struct HeadSeg {
+  uint64_t head_index = 0;
+  uint64_t head = 0;
+};
+struct HeadCombine {
+  HeadSeg operator()(const HeadSeg& x, const HeadSeg& y) const {
+    HeadSeg out = y;
+    oassign(y.head == 0, out.head_index, x.head_index);
+    out.head = x.head | y.head;
+    return out;
+  }
+};
+
+}  // namespace detail
+
+/// Place the real elements of `in` into `out` (|out| = beta*Z; bin b is
+/// out[b*Z, (b+1)*Z)). `group(r)` gives the destination bin of a non-filler
+/// record. Throws BinOverflow if some bin attracts more than Z reals.
+template <class R, class Traits = RecordTraits<R>, class GroupFn,
+          class Sorter = BitonicSorter>
+void bin_placement(const slice<R>& in, const slice<R>& out, size_t beta,
+                   size_t Z, const GroupFn& group, const Sorter& sorter = {}) {
+  using Item = detail::BinItem<R>;
+  assert(out.size() == beta * Z);
+  const size_t n0 = in.size() + beta * Z;
+  const size_t n = util::pow2_ceil(n0);
+
+  vec<Item> workv(n);
+  const slice<Item> w = workv.s();
+
+  // 1. Input elements, then Z temps per bin, then pad fillers.
+  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    Item it;
+    if (i < in.size()) {
+      it.r = in[i];
+      const bool fill = Traits::is_filler(it.r);
+      const uint64_t g = fill ? 0 : group(it.r);
+      it.skey = oselect<uint64_t>(fill, Item::kSinkKey, (g << 2) | 0u);
+    } else if (i < n0) {
+      const uint64_t g = (i - in.size()) / Z;
+      it.r = Traits::filler();
+      it.skey = (g << 2) | 1u;  // temp
+    } else {
+      it.r = Traits::filler();
+      it.skey = Item::kSinkKey;
+    }
+    w[i] = it;
+  });
+
+  // 2. Sort by (bin, real < temp); fillers sink to the back.
+  sorter(w, detail::BinBySkey{});
+
+  // 3. Offset within bin via segmented scan of head positions.
+  vec<detail::HeadSeg> segv(n);
+  const slice<detail::HeadSeg> sg = segv.s();
+  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    const uint64_t g = w[i].skey >> 2;
+    const uint64_t gp = w[i == 0 ? 0 : i - 1].skey >> 2;
+    const bool head = (i == 0) || (g != gp);
+    sg[i] = detail::HeadSeg{i, head ? 1u : 0u};
+  });
+  scan_inclusive(sg, detail::HeadCombine{});
+
+  // Overflow check: a bin overflows iff some *real* element has offset
+  // >= Z. The reduction below has a fixed pattern over public positions.
+  vec<uint64_t> overflow_flags(n);
+  const slice<uint64_t> of = overflow_flags.s();
+
+  // 4. Re-key: normal -> bin id, excess/filler -> sink.
+  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    Item it = w[i];
+    const uint64_t offset = i - sg[i].head_index;
+    const bool sink = it.skey == Item::kSinkKey;
+    const bool excess = !sink && offset >= Z;
+    const bool real_excess = excess && (it.skey & 3u) == 0u;
+    of[i] = real_excess ? 1u : 0u;
+    it.skey =
+        oselect<uint64_t>(excess || sink, Item::kSinkKey, it.skey >> 2);
+    // Temps that survive become fillers right away; record the class bit in
+    // the sink decision only. (Class info is no longer needed after this.)
+    w[i] = it;
+  });
+  uint64_t lost = 0;
+  for (size_t i = 0; i < n; ++i) lost += of[i];
+  if (lost != 0) throw BinOverflow{};
+
+  sorter(w, detail::BinBySkey{});
+
+  // 5. Keep the first beta*Z entries; temps (recognizable as fillers-by-
+  // construction) were already materialized as Traits::filler().
+  fj::for_range(0, beta * Z, fj::kDefaultGrain,
+                [&](size_t i) { out[i] = w[i].r; });
+}
+
+}  // namespace dopar::obl

@@ -1,0 +1,113 @@
+#pragma once
+// Bitonic sorting network — naive binary fork-join parallelization.
+//
+// This is the baseline implementation the paper improves on in Section E.1:
+// forking the comparators of each layer gives O(n log^2 n) work,
+// O(log^3 n) span and O((n/B) log^2 n) cache misses. The cache-agnostic
+// variant (bitonic_ca.hpp) reuses the same comparator network with the
+// transpose-based recursion of Theorem E.1. Both are data-oblivious: the
+// comparator sequence is a fixed function of n.
+//
+// The element count must be a power of two; callers pad with +inf fillers
+// (Elem::filler() sorts last under ByKey).
+
+#include <cassert>
+#include <cstddef>
+
+#include "forkjoin/api.hpp"
+#include "obl/elem.hpp"
+#include "obl/oswap.hpp"
+#include "sim/session.hpp"
+#include "sim/tracked.hpp"
+#include "util/bits.hpp"
+
+namespace dopar::obl {
+
+/// One comparator: orders a[i], a[j] ascending iff `up`.
+/// Counted as one tick of work/span.
+template <class T, class Less>
+inline void comparator(const slice<T>& a, size_t i, size_t j, bool up,
+                       const Less& less) {
+  sim::tick(1);
+  T x = a[i];
+  T y = a[j];
+  const bool wrong = up ? less(y, x) : less(x, y);
+  oswap(x, y, wrong);
+  a[i] = x;
+  a[j] = y;
+}
+
+namespace detail {
+
+template <class T, class Less>
+void bitonic_merge_naive(const slice<T>& a, size_t lo, size_t n, bool up,
+                         const Less& less) {
+  if (n <= 1) return;
+  const size_t k = n / 2;
+  fj::for_range(lo, lo + k, fj::kDefaultGrain,
+                [&](size_t i) { comparator(a, i, i + k, up, less); });
+  fj::invoke([&] { bitonic_merge_naive(a, lo, k, up, less); },
+             [&] { bitonic_merge_naive(a, lo + k, k, up, less); });
+}
+
+template <class T, class Less>
+void bitonic_sort_naive(const slice<T>& a, size_t lo, size_t n, bool up,
+                        const Less& less) {
+  if (n <= 1) return;
+  const size_t k = n / 2;
+  fj::invoke([&] { bitonic_sort_naive(a, lo, k, true, less); },
+             [&] { bitonic_sort_naive(a, lo + k, k, false, less); });
+  bitonic_merge_naive(a, lo, n, up, less);
+}
+
+}  // namespace detail
+
+/// Sort a (|a| a power of two) ascending iff `up`, naive parallelization.
+template <class T, class Less = ByKey>
+void bitonic_sort(const slice<T>& a, bool up = true, const Less& less = {}) {
+  assert(util::is_pow2(a.size()) || a.size() == 0);
+  if (a.size() <= 1) return;
+  detail::bitonic_sort_naive(a, 0, a.size(), up, less);
+}
+
+/// Merge a bitonic sequence (|a| a power of two), naive parallelization.
+template <class T, class Less = ByKey>
+void bitonic_merge(const slice<T>& a, bool up = true, const Less& less = {}) {
+  assert(util::is_pow2(a.size()) || a.size() == 0);
+  if (a.size() <= 1) return;
+  detail::bitonic_merge_naive(a, 0, a.size(), up, less);
+}
+
+/// Layer-by-layer (breadth-first) bitonic sort: the literal PRAM schedule
+/// with every layer's comparators forked in a binary tree — the "naive
+/// parallelization" Theorem E.1 improves on. Span O(log^3 n) and cache
+/// O((n/B) log^2 n): each of the log n (log n + 1)/2 layers scans the
+/// whole array.
+template <class T, class Less = ByKey>
+void bitonic_sort_layerwise(const slice<T>& a, bool up = true,
+                            const Less& less = {}) {
+  const size_t n = a.size();
+  assert(util::is_pow2(n) || n == 0);
+  if (n <= 1) return;
+  for (size_t block = 2; block <= n; block *= 2) {
+    for (size_t d = block / 2; d >= 1; d /= 2) {
+      fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+        if ((i & d) == 0) {
+          const bool dir = up == (((i / block) % 2) == 0);
+          comparator(a, i, i + d, dir, less);
+        }
+      });
+    }
+  }
+}
+
+/// Comparator count of the full bitonic sorter: n/2 per layer,
+/// log n (log n + 1) / 2 layers — used by the Figure 1 bench to check the
+/// implementation against the textbook network.
+inline uint64_t bitonic_comparator_count(size_t n) {
+  if (n <= 1) return 0;
+  const uint64_t ln = util::log2_exact(n);
+  return (n / 2) * ln * (ln + 1) / 2;
+}
+
+}  // namespace dopar::obl

@@ -1,0 +1,61 @@
+#pragma once
+// Branchless oblivious swap and select.
+//
+// Even inside the secure processor, the paper's adversary observes which
+// addresses are touched; a comparator that only conditionally *writes* would
+// leak the comparison through the write set. oswap always reads and writes
+// both operands, masking the exchange with an arithmetic mask so neither the
+// address trace nor the executed instruction stream depends on the secret
+// predicate.
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace dopar::obl {
+
+/// Swap a and b iff do_swap, with a data-independent access pattern.
+template <class T>
+inline void oswap(T& a, T& b, bool do_swap) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "oswap requires trivially copyable records");
+  constexpr size_t kWords = (sizeof(T) + 7) / 8;
+  uint64_t wa[kWords] = {};
+  uint64_t wb[kWords] = {};
+  std::memcpy(wa, &a, sizeof(T));
+  std::memcpy(wb, &b, sizeof(T));
+  const uint64_t mask = 0 - static_cast<uint64_t>(do_swap);
+  for (size_t i = 0; i < kWords; ++i) {
+    const uint64_t t = (wa[i] ^ wb[i]) & mask;
+    wa[i] ^= t;
+    wb[i] ^= t;
+  }
+  std::memcpy(&a, wa, sizeof(T));
+  std::memcpy(&b, wb, sizeof(T));
+}
+
+/// Branchless select: returns t if cond else f.
+template <class T>
+inline T oselect(bool cond, const T& t, const T& f) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  constexpr size_t kWords = (sizeof(T) + 7) / 8;
+  uint64_t wt[kWords] = {};
+  uint64_t wf[kWords] = {};
+  std::memcpy(wt, &t, sizeof(T));
+  std::memcpy(wf, &f, sizeof(T));
+  const uint64_t mask = 0 - static_cast<uint64_t>(cond);
+  for (size_t i = 0; i < kWords; ++i) {
+    wf[i] = (wt[i] & mask) | (wf[i] & ~mask);
+  }
+  T out;
+  std::memcpy(&out, wf, sizeof(T));
+  return out;
+}
+
+/// Conditionally overwrite dst with src iff cond (always writes dst).
+template <class T>
+inline void oassign(bool cond, T& dst, const T& src) {
+  dst = oselect(cond, src, dst);
+}
+
+}  // namespace dopar::obl

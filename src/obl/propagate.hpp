@@ -1,0 +1,66 @@
+#pragma once
+// Oblivious propagation in a sorted array (paper Section F, Table 2).
+//
+// Input: an Elem array sorted so equal keys are consecutive. The leftmost
+// element of each key-group is the group's representative; afterwards every
+// element's (payload, aux) equals its representative's. Realized as a
+// segmented inclusive prefix scan — O(n) work, O(log n) span, O(n/B) cache,
+// fixed access pattern.
+
+#include <cstdint>
+
+#include "forkjoin/api.hpp"
+#include "obl/elem.hpp"
+#include "obl/oswap.hpp"
+#include "obl/scan.hpp"
+#include "sim/tracked.hpp"
+
+namespace dopar::obl {
+
+namespace detail {
+
+struct PropSeg {
+  uint64_t payload = 0;
+  uint64_t aux = 0;
+  uint64_t head = 0;  // 1 iff this position starts a key-group
+};
+
+struct PropCombine {
+  // comb(earlier, later): a later head blocks values from the left.
+  PropSeg operator()(const PropSeg& x, const PropSeg& y) const {
+    PropSeg out = y;
+    // If y does not start a group, the fold's value comes from x.
+    oassign(y.head == 0, out.payload, x.payload);
+    oassign(y.head == 0, out.aux, x.aux);
+    out.head = x.head | y.head;
+    return out;
+  }
+};
+
+}  // namespace detail
+
+/// Propagate the leftmost (payload, aux) of each key-group to the whole
+/// group. Fillers form their own groups (key = 2^64-1) and are unaffected
+/// in practice.
+inline void propagate_leftmost(const slice<Elem>& a) {
+  const size_t n = a.size();
+  if (n <= 1) return;
+  vec<detail::PropSeg> segs(n);
+  const slice<detail::PropSeg> sg = segs.s();
+  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    const Elem e = a[i];
+    const bool head = (i == 0) || (a[i - 1].key != e.key);
+    sg[i] = detail::PropSeg{e.payload, e.aux, head ? 1u : 0u};
+  });
+  scan_inclusive(sg, detail::PropCombine{});
+  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    Elem e = a[i];
+    e.payload = sg[i].payload;
+    e.aux = sg[i].aux;
+    a[i] = e;
+  });
+}
+
+}  // namespace dopar::obl

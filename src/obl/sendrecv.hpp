@@ -1,0 +1,142 @@
+#pragma once
+// Oblivious send-receive, a.k.a. oblivious routing (paper Sections 4, F).
+//
+// Sources hold (key, value) with distinct keys; receivers request a key and
+// learn the matching value, or ⊥ if no source holds it. One source may feed
+// many receivers. Realized within the sorting bound by the Chan–Shi recipe:
+//   1. sort sources and receivers together by (key, source-before-receiver),
+//   2. propagate the leftmost record of every key-group (a source, if one
+//      exists) to the whole group with one segmented scan,
+//   3. sort receivers back to their original order and emit results.
+//
+// All internal sorts are ascending-by-Elem-key (scratch orders are packed
+// into the key field), so ANY oblivious Elem sorter plugs in:
+//   * obl::BitonicSorter (default, self-contained practical configuration),
+//   * core::OsortSorter — the full oblivious sort, realizing the Table 2
+//     bounds: O(n log n) work, Õ(log n) span, O((n/B) log_M n) cache.
+//
+// Contract: source/receiver keys < 2^63; receiver count < 2^32. The
+// returned records carry the fetched payload/aux (or kNotFound); their key
+// field is not meaningful.
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+#include "forkjoin/api.hpp"
+#include "obl/elem.hpp"
+#include "obl/oswap.hpp"
+#include "obl/scan.hpp"
+#include "obl/sorter.hpp"
+#include "sim/tracked.hpp"
+#include "util/bits.hpp"
+
+namespace dopar::obl {
+
+namespace detail {
+
+struct SrSeg {
+  uint64_t payload = 0;
+  uint64_t aux = 0;
+  uint64_t src_head = 0;  // head of this key-group is a source
+  uint64_t head = 0;
+};
+struct SrCombine {
+  SrSeg operator()(const SrSeg& x, const SrSeg& y) const {
+    SrSeg out = y;
+    oassign(y.head == 0, out.payload, x.payload);
+    oassign(y.head == 0, out.aux, x.aux);
+    oassign(y.head == 0, out.src_head, x.src_head);
+    out.head = x.head | y.head;
+    return out;
+  }
+};
+
+}  // namespace detail
+
+/// Route values from `sources` (distinct keys; value in payload/aux) to
+/// `dests` (requested key in .key). Writes into `results` (size = |dests|,
+/// original receiver order).
+template <class Sorter = BitonicSorter>
+void send_receive(const slice<Elem>& sources, const slice<Elem>& dests,
+                  const slice<Elem>& results, const Sorter& sorter = {}) {
+  assert(results.size() == dests.size());
+  const size_t ns = sources.size();
+  const size_t nd = dests.size();
+  if (nd == 0) return;
+  const size_t n = util::pow2_ceil(ns + nd);
+
+  vec<Elem> workv(n);
+  const slice<Elem> w = workv.s();
+
+  // Tag and concatenate: key <- (key << 1) | is_receiver, so a source
+  // precedes the receivers asking for its key. Receivers stash their
+  // original position in payload until the absorb step.
+  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    Elem e;
+    if (i < ns) {
+      e = sources[i];
+      // Filler sources are legal (fixed-size proposal arrays pad with
+      // them); they keep the sink key and can never match a receiver.
+      assert(e.is_filler() || e.key < (uint64_t{1} << 63));
+      e.key = obl::oselect<uint64_t>(e.is_filler(), ~uint64_t{0},
+                                     (e.key << 1) | 0u);
+    } else if (i < ns + nd) {
+      e = dests[i - ns];
+      assert(e.key < (uint64_t{1} << 63));
+      e.flags |= Elem::kDest;
+      e.payload = i - ns;  // original receiver index
+      e.key = (e.key << 1) | 1u;
+    } else {
+      e = Elem::filler();
+    }
+    w[i] = e;
+  });
+
+  sorter(w, ByKey{});
+
+  // Propagate each key-group's head (a source, if present).
+  vec<detail::SrSeg> segv(n);
+  const slice<detail::SrSeg> sg = segv.s();
+  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    const Elem e = w[i];
+    const uint64_t key = e.key >> 1;
+    const uint64_t pkey = w[i == 0 ? 0 : i - 1].key >> 1;
+    const bool head = (i == 0) || (key != pkey);
+    const bool is_src =
+        (e.key & 1u) == 0u && !e.is_filler() && !(e.flags & Elem::kDest);
+    sg[i] = detail::SrSeg{e.payload, e.aux, is_src && head ? 1u : 0u,
+                          head ? 1u : 0u};
+  });
+  scan_inclusive(sg, detail::SrCombine{});
+
+  // Absorb: receivers take the propagated value and re-key to their
+  // original index; everything else sinks.
+  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    Elem e = w[i];
+    const bool is_dest = (e.flags & Elem::kDest) != 0;
+    const bool found = sg[i].src_head != 0;
+    Elem r = e;
+    r.key = e.payload;  // original receiver index
+    r.payload = oselect<uint64_t>(found, sg[i].payload, 0);
+    r.aux = oselect<uint64_t>(found, sg[i].aux, 0);
+    r.flags |= found ? 0u : Elem::kNotFound;
+    oassign(is_dest, e, r);
+    oassign(!is_dest, e.key, ~uint64_t{0});
+    w[i] = e;
+  });
+
+  sorter(w, ByKey{});
+
+  fj::for_range(0, nd, fj::kDefaultGrain, [&](size_t i) {
+    sim::tick(1);
+    Elem e = w[i];
+    e.flags &= ~Elem::kDest;
+    results[i] = e;
+  });
+}
+
+}  // namespace dopar::obl

@@ -1,0 +1,45 @@
+#pragma once
+// Sorter policy used by composite oblivious primitives.
+//
+// Bin placement, compaction and send-receive are written against a
+// pluggable "oblivious sorter" so that:
+//   * self-contained/practical configurations use the cache-agnostic
+//     bitonic network (paper Section E — their AKS replacement), and
+//   * the asymptotically-optimal configuration plugs in the full oblivious
+//     sort (core/osort.hpp), realizing the Table 2 sorting-bound rows.
+// A sorter must (a) realize the sorting functionality on power-of-two
+// arrays and (b) have an input-independent access-pattern distribution.
+
+#include "obl/bitonic.hpp"
+#include "obl/bitonic_ca.hpp"
+#include "obl/elem.hpp"
+#include "obl/oddeven.hpp"
+
+namespace dopar::obl {
+
+/// Cache-agnostic bitonic network sorter (default).
+struct BitonicSorter {
+  template <class T, class Less>
+  void operator()(const slice<T>& a, const Less& less) const {
+    bitonic_sort_ca(a, /*up=*/true, less);
+  }
+};
+
+/// Naive-parallelization bitonic sorter: the literal layer-by-layer PRAM
+/// schedule (for the Table 2 / Theorem E.1 "prior best" columns).
+struct NaiveBitonicSorter {
+  template <class T, class Less>
+  void operator()(const slice<T>& a, const Less& less) const {
+    bitonic_sort_layerwise(a, /*up=*/true, less);
+  }
+};
+
+/// Batcher odd-even network sorter (AKS stand-in cross-check).
+struct OddEvenSorter {
+  template <class T, class Less>
+  void operator()(const slice<T>& a, const Less& less) const {
+    odd_even_merge_sort(a, less);
+  }
+};
+
+}  // namespace dopar::obl

@@ -1,0 +1,161 @@
+#pragma once
+// Space-bounded oblivious PRAM simulation (paper Theorem 4.1).
+//
+// Each CRCW step is simulated with O(1) oblivious sorts and send-receives
+// over p + s records:
+//   * read step — oblivious send-receive with the s memory cells as
+//     sources and the p processors as receivers (idle/writing processors
+//     ask for a reserved dummy address so the receiver count is always p);
+//   * write step — conflict resolution (one oblivious sort by
+//     (address, pid) + neighbor dedup keeps the Priority winner and turns
+//     losers into fillers), then a send-receive with the p resolved writes
+//     as sources and the s memory cells as receivers; cells absorb the new
+//     value through a branchless select.
+// Per step: O(W_sort(p+s)) work, O(T_sort(p+s)) span, O(Q_sort(p+s))
+// cache misses — with the oblivious sorter plugged in, exactly the bounds
+// of Theorem 4.1.
+//
+// The adversary's view per step is: a send-receive on (s sources, p
+// receivers), a sort of p records, a send-receive on (p sources, s
+// receivers), and elementwise passes — all fixed functions of (p, s).
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "forkjoin/api.hpp"
+#include "obl/elem.hpp"
+#include "obl/oswap.hpp"
+#include "obl/sendrecv.hpp"
+#include "obl/sorter.hpp"
+#include "pram/program.hpp"
+#include "sim/session.hpp"
+#include "sim/tracked.hpp"
+#include "util/bits.hpp"
+
+namespace dopar::pram {
+
+/// Dummy address used by non-reading processors; must stay clear of real
+/// space (callers keep space() < 2^62).
+inline constexpr uint64_t kDummyAddr = (uint64_t{1} << 62) - 1;
+
+/// Run `prog` with the oblivious space-bounded simulation. The Sorter is
+/// the oblivious Elem sorter used inside sorts/send-receives (plug in
+/// core::OsortSorter for the Theorem 4.1 bounds, obl::BitonicSorter for
+/// the self-contained practical configuration).
+template <class Sorter = obl::BitonicSorter>
+std::vector<uint64_t> run_oblivious_sb(Program& prog,
+                                       const Sorter& sorter = {},
+                                       RunStats* stats = nullptr) {
+  using obl::Elem;
+  const size_t p = prog.processors();
+  const size_t s = prog.space();
+  assert(s < (uint64_t{1} << 61));
+
+  std::vector<uint64_t> init(s, 0);
+  prog.init_memory(init);
+
+  // Memory lives as an Elem array: key = address, payload = value.
+  vec<Elem> memv(s);
+  {
+    const slice<Elem> mem = memv.s();
+    for (size_t i = 0; i < s; ++i) {
+      Elem e;
+      e.key = i;
+      e.payload = init[i];
+      mem[i] = e;
+    }
+  }
+  const slice<Elem> mem = memv.s();
+
+  std::vector<uint64_t> responses(p, 0);
+  std::vector<Request> reqs(p);
+  const size_t psort = util::pow2_ceil(p);
+
+  size_t step = 0;
+  while (prog.step(step, responses, reqs)) {
+    assert(reqs.size() == p);
+
+    // ---- Read phase: p receivers against s memory sources. -------------
+    vec<Elem> rdestv(p), rresv(p);
+    const slice<Elem> rdest = rdestv.s();
+    fj::for_range(0, p, fj::kDefaultGrain, [&](size_t pid) {
+      sim::tick(1);
+      Elem d;
+      const bool reading = reqs[pid].op == Op::Read;
+      d.key = obl::oselect<uint64_t>(reading, reqs[pid].addr, kDummyAddr);
+      rdest[pid] = d;
+    });
+    obl::send_receive(mem, rdest, rresv.s(), sorter);
+    for (size_t pid = 0; pid < p; ++pid) {
+      const Elem r = rresv.s()[pid];
+      responses[pid] =
+          obl::oselect<uint64_t>((r.flags & Elem::kNotFound) != 0, 0,
+                                 r.payload);
+    }
+
+    // ---- Write phase: conflict resolution then scatter. -----------------
+    // Sort write requests by (addr, pid); the first of each address group
+    // is the Priority winner, the rest become fillers.
+    const unsigned pid_bits = util::log2_ceil(psort < 2 ? 2 : psort);
+    vec<Elem> wv(psort);
+    const slice<Elem> w = wv.s();
+    fj::for_range(0, psort, fj::kDefaultGrain, [&](size_t i) {
+      sim::tick(1);
+      Elem e = Elem::filler();
+      if (i < p) {
+        const bool writing = reqs[i].op == Op::Write;
+        Elem cand;
+        cand.key = (reqs[i].addr << pid_bits) | i;
+        cand.payload = reqs[i].value;
+        obl::oassign(writing, e, cand);
+      }
+      w[i] = e;
+    });
+    sorter(w, obl::ByKey{});
+    // Two passes so the dedup flags come from a consistent snapshot (a
+    // single pass would race with its own filler rewrites).
+    vec<uint64_t> loserv(psort);
+    const slice<uint64_t> loser = loserv.s();
+    fj::for_range(0, psort, fj::kDefaultGrain, [&](size_t i) {
+      sim::tick(1);
+      const Elem e = w[i];
+      const Elem prev = w[i == 0 ? 0 : i - 1];
+      const uint64_t a = e.key >> pid_bits;
+      const uint64_t ap = prev.key >> pid_bits;
+      loser[i] = (i != 0 && !e.is_filler() && !prev.is_filler() && a == ap)
+                     ? 1u
+                     : 0u;
+    });
+    fj::for_range(0, psort, fj::kDefaultGrain, [&](size_t i) {
+      sim::tick(1);
+      Elem e = w[i];
+      const uint64_t a = e.key >> pid_bits;
+      obl::oassign(loser[i] != 0, e, Elem::filler());
+      obl::oassign(!e.is_filler(), e.key, a);  // drop the pid tiebreak
+      w[i] = e;
+    });
+
+    // Scatter: memory cells receive their (possibly absent) new value.
+    vec<Elem> updv(s);
+    obl::send_receive(w, mem, updv.s(), sorter);
+    const slice<Elem> upd = updv.s();
+    fj::for_range(0, s, fj::kDefaultGrain, [&](size_t i) {
+      sim::tick(1);
+      Elem cell = mem[i];
+      const Elem u = upd[i];
+      const bool hit = (u.flags & Elem::kNotFound) == 0;
+      obl::oassign(hit, cell.payload, u.payload);
+      mem[i] = cell;
+    });
+
+    ++step;
+  }
+  if (stats) stats->steps = step;
+
+  std::vector<uint64_t> out(s);
+  for (size_t i = 0; i < s; ++i) out[i] = mem[i].payload;
+  return out;
+}
+
+}  // namespace dopar::pram

@@ -1,0 +1,52 @@
+#pragma once
+// The CRCW PRAM program abstraction (paper Section 4).
+//
+// A program declares p processors and s memory cells. Execution proceeds in
+// synchronous steps; in each step every processor issues at most one memory
+// request (read or write; idle processors issue None). Local computation
+// between steps lives inside the Program subclass and is untraced — only
+// the *memory behaviour* is the object of simulation, exactly as in the
+// paper's model where each PRAM step splits into a read step, local
+// compute, and a write step.
+//
+// Concurrent reads are unrestricted; concurrent writes to the same address
+// are resolved by the Priority rule (lowest processor id wins), the
+// strongest of the classic CRCW conventions (Arbitrary/Common programs run
+// unchanged under Priority).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dopar::pram {
+
+enum class Op : uint8_t { None, Read, Write };
+
+struct Request {
+  Op op = Op::None;
+  uint64_t addr = 0;   ///< must be < space()
+  uint64_t value = 0;  ///< write value (ignored for Read/None)
+};
+
+struct RunStats {
+  size_t steps = 0;
+};
+
+class Program {
+ public:
+  virtual ~Program() = default;
+
+  virtual size_t processors() const = 0;
+  virtual size_t space() const = 0;
+
+  /// Populate the initial memory image (size = space(), zero-filled).
+  virtual void init_memory(std::vector<uint64_t>& mem) = 0;
+
+  /// Produce the requests for `step`. `responses[pid]` carries the value
+  /// processor pid read in the previous step (0 if it did not read).
+  /// Return false to halt (the requests of the halting step are ignored).
+  virtual bool step(size_t step, const std::vector<uint64_t>& responses,
+                    std::vector<Request>& requests) = 0;
+};
+
+}  // namespace dopar::pram

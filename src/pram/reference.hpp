@@ -1,0 +1,58 @@
+#pragma once
+// Reference (insecure) CRCW PRAM emulator.
+//
+// Executes a pram::Program directly against a flat memory image: reads are
+// served immediately, concurrent writes resolved by the Priority rule.
+// This is both the correctness oracle for the oblivious engines and the
+// "insecure" side of the Table 2 PRAM row.
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "pram/program.hpp"
+#include "sim/session.hpp"
+#include "sim/tracked.hpp"
+
+namespace dopar::pram {
+
+/// Run `prog` to completion; returns the final memory image.
+inline std::vector<uint64_t> run_reference(Program& prog,
+                                           RunStats* stats = nullptr) {
+  const size_t p = prog.processors();
+  const size_t s = prog.space();
+  std::vector<uint64_t> memv(s, 0);
+  prog.init_memory(memv);
+  vec<uint64_t> mem(std::move(memv));
+
+  std::vector<uint64_t> responses(p, 0);
+  std::vector<Request> reqs(p);
+  size_t step = 0;
+  while (prog.step(step, responses, reqs)) {
+    assert(reqs.size() == p);
+    // Read phase.
+    for (size_t pid = 0; pid < p; ++pid) {
+      sim::tick(1);
+      if (reqs[pid].op == Op::Read) {
+        assert(reqs[pid].addr < s);
+        responses[pid] = mem[reqs[pid].addr];
+      } else {
+        responses[pid] = 0;
+      }
+    }
+    // Write phase, Priority rule: scan pids high to low so the lowest
+    // writer to an address lands last.
+    for (size_t pid = p; pid-- > 0;) {
+      sim::tick(1);
+      if (reqs[pid].op == Op::Write) {
+        assert(reqs[pid].addr < s);
+        mem[reqs[pid].addr] = reqs[pid].value;
+      }
+    }
+    ++step;
+  }
+  if (stats) stats->steps = step;
+  return std::move(mem.underlying());
+}
+
+}  // namespace dopar::pram

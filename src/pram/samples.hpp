@@ -1,0 +1,171 @@
+#pragma once
+// Sample CRCW PRAM programs: correctness workloads for the simulation
+// engines and the Table 2 "PRAM step" bench. Each is a textbook algorithm
+// expressed in the strict one-request-per-step discipline of
+// pram::Program.
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "pram/program.hpp"
+
+namespace dopar::pram {
+
+/// Tree reduction: memory holds n = p values at [0, n); after log2 n
+/// rounds, mem[0] = max of all values. Each round r: processor i < n/2^r
+/// alternately reads its partner then writes the max.
+class MaxReduceProgram : public Program {
+ public:
+  explicit MaxReduceProgram(std::vector<uint64_t> values)
+      : values_(std::move(values)) {
+    assert(!values_.empty());
+  }
+
+  size_t processors() const override { return values_.size(); }
+  size_t space() const override { return values_.size(); }
+  void init_memory(std::vector<uint64_t>& mem) override {
+    for (size_t i = 0; i < values_.size(); ++i) mem[i] = values_[i];
+  }
+
+  bool step(size_t step, const std::vector<uint64_t>& responses,
+            std::vector<Request>& reqs) override {
+    const size_t n = values_.size();
+    const size_t round = step / 3;
+    const size_t phase = step % 3;
+    size_t stride = size_t{1} << round;
+    if (stride >= n && phase == 0) return false;
+    for (size_t pid = 0; pid < n; ++pid) {
+      Request r;
+      const bool active = pid % (2 * stride) == 0 && pid + stride < n;
+      if (active && phase == 0) {
+        r = Request{Op::Read, pid, 0};  // own value
+      } else if (active && phase == 1) {
+        own_[pid] = responses[pid];
+        r = Request{Op::Read, pid + stride, 0};  // partner value
+      } else if (active && phase == 2) {
+        const uint64_t m =
+            own_[pid] > responses[pid] ? own_[pid] : responses[pid];
+        r = Request{Op::Write, pid, m};
+      }
+      reqs[pid] = r;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<uint64_t> values_;
+  std::vector<uint64_t> own_ = std::vector<uint64_t>(values_.size(), 0);
+};
+
+/// Concurrent-write torture: every processor writes to the same address
+/// each step; the Priority rule must keep the lowest pid's value.
+class WriteConflictProgram : public Program {
+ public:
+  WriteConflictProgram(size_t p, size_t rounds) : p_(p), rounds_(rounds) {}
+
+  size_t processors() const override { return p_; }
+  size_t space() const override { return rounds_ + 1; }
+  void init_memory(std::vector<uint64_t>&) override {}
+
+  bool step(size_t step, const std::vector<uint64_t>&,
+            std::vector<Request>& reqs) override {
+    if (step >= rounds_) return false;
+    for (size_t pid = 0; pid < p_; ++pid) {
+      // Higher pids write "noise"; pid (step % p) and up contend.
+      if (pid >= step % p_) {
+        reqs[pid] = Request{Op::Write, step, 1000 * pid + step};
+      } else {
+        reqs[pid] = Request{Op::None, 0, 0};
+      }
+    }
+    return true;
+  }
+
+ private:
+  size_t p_;
+  size_t rounds_;
+};
+
+/// Pointer jumping (Wyllie list ranking): succ[] and rank[] arrays in
+/// memory; after log2 n jump rounds rank[i] = distance to the list tail.
+/// The classic O(n log n)-work PRAM algorithm the paper's list-ranking
+/// application builds on.
+class PointerJumpProgram : public Program {
+ public:
+  /// succ[i] = successor index, or i itself for the tail.
+  explicit PointerJumpProgram(std::vector<uint64_t> succ)
+      : succ_(std::move(succ)), n_(succ_.size()) {}
+
+  size_t processors() const override { return n_; }
+  size_t space() const override { return 2 * n_; }  // [succ | rank]
+  void init_memory(std::vector<uint64_t>& mem) override {
+    for (size_t i = 0; i < n_; ++i) {
+      mem[i] = succ_[i];
+      mem[n_ + i] = succ_[i] == i ? 0 : 1;
+    }
+  }
+
+  // Each jump round, processor i:
+  //   0: read succ[i]            -> s
+  //   1: read rank[s]            -> rs      (needs s)
+  //   2: read rank[i]            -> ri
+  //   3: write rank[i] = ri + rs (if succ[s] != ... unconditional: rank of
+  //      tail is 0 so adding rank[s] after convergence is a no-op only if
+  //      s == tail... we gate on s != i)
+  //   4: read succ[s]            -> ss
+  //   5: write succ[i] = ss
+  bool step(size_t step, const std::vector<uint64_t>& responses,
+            std::vector<Request>& reqs) override {
+    const size_t rounds = util_log2(n_) + 1;
+    const size_t round = step / 6;
+    const size_t phase = step % 6;
+    if (round >= rounds) return false;
+    for (size_t pid = 0; pid < n_; ++pid) {
+      Request r;
+      switch (phase) {
+        case 0:
+          r = Request{Op::Read, pid, 0};  // succ[i]
+          break;
+        case 1:
+          s_[pid] = responses[pid];
+          r = Request{Op::Read, n_ + s_[pid], 0};  // rank[s]
+          break;
+        case 2:
+          rs_[pid] = responses[pid];
+          r = Request{Op::Read, n_ + pid, 0};  // rank[i]
+          break;
+        case 3: {
+          const uint64_t ri = responses[pid];
+          if (s_[pid] != pid) {
+            r = Request{Op::Write, n_ + pid, ri + rs_[pid]};
+          }
+          break;
+        }
+        case 4:
+          r = Request{Op::Read, s_[pid], 0};  // succ[s]
+          break;
+        case 5:
+          if (s_[pid] != pid) {
+            r = Request{Op::Write, pid, responses[pid]};
+          }
+          break;
+      }
+      reqs[pid] = r;
+    }
+    return true;
+  }
+
+ private:
+  static size_t util_log2(size_t n) {
+    size_t l = 0;
+    while ((size_t{1} << l) < n) ++l;
+    return l;
+  }
+  std::vector<uint64_t> succ_;
+  size_t n_;
+  std::vector<uint64_t> s_ = std::vector<uint64_t>(n_, 0);
+  std::vector<uint64_t> rs_ = std::vector<uint64_t>(n_, 0);
+};
+
+}  // namespace dopar::pram

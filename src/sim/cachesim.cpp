@@ -1,0 +1,43 @@
+#include "sim/cachesim.hpp"
+
+#include <cassert>
+
+namespace dopar::sim {
+
+CacheSim::CacheSim(uint64_t m_bytes, uint64_t b_bytes)
+    : m_(m_bytes), b_(b_bytes), lines_capacity_(m_bytes / b_bytes) {
+  assert(b_bytes > 0 && m_bytes >= b_bytes);
+  where_.reserve(lines_capacity_ * 2);
+}
+
+void CacheSim::access(uint64_t addr, uint32_t bytes) {
+  const uint64_t first = addr / b_;
+  const uint64_t last = (addr + (bytes ? bytes - 1 : 0)) / b_;
+  for (uint64_t line = first; line <= last; ++line) touch_line(line);
+}
+
+void CacheSim::touch_line(uint64_t line) {
+  ++accesses_;
+  auto it = where_.find(line);
+  if (it != where_.end()) {
+    // Hit: move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  ++misses_;
+  if (lru_.size() == lines_capacity_) {
+    where_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(line);
+  where_[line] = lru_.begin();
+}
+
+void CacheSim::reset() {
+  misses_ = 0;
+  accesses_ = 0;
+  lru_.clear();
+  where_.clear();
+}
+
+}  // namespace dopar::sim

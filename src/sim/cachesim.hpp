@@ -1,0 +1,50 @@
+#pragma once
+// Ideal-cache simulator for cache-agnostic complexity measurement.
+//
+// Implements the two-level I/O model of Aggarwal–Vitter / Frigo et al.
+// (paper Section A.1): a cache of M bytes organized in lines of B bytes,
+// fully associative, LRU replacement (within 2x of the optimal replacement
+// assumed by the model, by the classic resource-augmentation argument).
+// Algorithms under test never see M or B — they are cache-agnostic — only
+// the simulator is parameterized.
+//
+// Addresses are virtual: each tracked buffer is placed at a line-aligned
+// base in a flat virtual address space (allocation order), so measurements
+// are reproducible and independent of the host allocator.
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace dopar::sim {
+
+class CacheSim {
+ public:
+  /// @param m_bytes cache capacity M (bytes); @param b_bytes line size B.
+  CacheSim(uint64_t m_bytes, uint64_t b_bytes);
+
+  /// Feed one access of `bytes` bytes at virtual address `addr`.
+  void access(uint64_t addr, uint32_t bytes);
+
+  uint64_t misses() const { return misses_; }
+  uint64_t accesses() const { return accesses_; }
+  uint64_t m_bytes() const { return m_; }
+  uint64_t b_bytes() const { return b_; }
+
+  void reset();
+
+ private:
+  void touch_line(uint64_t line);
+
+  uint64_t m_;
+  uint64_t b_;
+  uint64_t lines_capacity_;
+  uint64_t misses_ = 0;
+  uint64_t accesses_ = 0;
+
+  // LRU: most-recently-used at front.
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> where_;
+};
+
+}  // namespace dopar::sim

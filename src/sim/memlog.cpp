@@ -1,0 +1,30 @@
+#include "sim/memlog.hpp"
+
+#include "sim/ticks.hpp"
+
+namespace dopar::sim {
+
+namespace detail {
+Session*& tls_session() {
+  thread_local Session* s = nullptr;
+  return s;
+}
+}  // namespace detail
+
+uint64_t MemLog::digest() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const AccessRecord& r : trace_) {
+    mix(r.buf);
+    mix(r.byte_off);
+    mix(r.bytes);
+  }
+  return h;
+}
+
+}  // namespace dopar::sim

@@ -1,0 +1,123 @@
+#pragma once
+// Tracked buffers: the memory type all measured algorithms operate on.
+//
+// dopar::vec<T> owns storage and registers itself with the active
+// measurement session (if any) so element accesses can be fed to the cache
+// simulator and the trace recorder. dopar::slice<T> is a non-owning view
+// (like std::span) that carries the buffer id and byte offset so sub-slices
+// remain tracked. Outside a session the cost of an access is a single
+// thread-local pointer test.
+//
+// Convention: algorithms index through slice::operator[] for every element
+// touch they want accounted. Bulk raw access (e.g. std::memcpy of an
+// internal scratch structure) can use data() but then must account for the
+// touches itself via touch_range().
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/session.hpp"
+
+namespace dopar {
+
+template <class T>
+class slice {
+ public:
+  slice() = default;
+  slice(T* p, size_t n, uint32_t buf, uint64_t byte_off)
+      : p_(p), n_(n), buf_(buf), off_(byte_off) {}
+
+  T& operator[](size_t i) const {
+    assert(i < n_);
+    if (sim::Session* s = sim::current_session()) {
+      s->touch(buf_, off_ + i * sizeof(T), sizeof(T));
+    }
+    return p_[i];
+  }
+
+  /// Untracked element access (caller accounts separately or is harness
+  /// code whose cost should not be attributed to the algorithm).
+  T& raw(size_t i) const {
+    assert(i < n_);
+    return p_[i];
+  }
+
+  slice sub(size_t start, size_t len) const {
+    assert(start + len <= n_);
+    return slice(p_ + start, len, buf_, off_ + start * sizeof(T));
+  }
+  slice first(size_t len) const { return sub(0, len); }
+  slice last(size_t len) const { return sub(n_ - len, len); }
+
+  /// Record `count` sequential element touches starting at `start` without
+  /// going through operator[] (for memcpy-style bulk moves).
+  void touch_range(size_t start, size_t count) const {
+    if (sim::Session* s = sim::current_session()) {
+      for (size_t i = 0; i < count; ++i) {
+        s->touch(buf_, off_ + (start + i) * sizeof(T), sizeof(T));
+      }
+    }
+  }
+
+  T* data() const { return p_; }
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  uint32_t buffer_id() const { return buf_; }
+  uint64_t byte_offset() const { return off_; }
+
+ private:
+  T* p_ = nullptr;
+  size_t n_ = 0;
+  uint32_t buf_ = sim::kNoBuf;
+  uint64_t off_ = 0;
+};
+
+/// Owning tracked buffer. Registration happens at construction; a vec
+/// created outside a session is untracked (id kNoBuf) but still usable.
+template <class T>
+class vec {
+ public:
+  vec() = default;
+  explicit vec(size_t n) : v_(n) { reg(); }
+  vec(size_t n, const T& init) : v_(n, init) { reg(); }
+  explicit vec(std::vector<T> v) : v_(std::move(v)) { reg(); }
+
+  // Moves keep the registration; copies re-register (new buffer identity).
+  vec(vec&&) noexcept = default;
+  vec& operator=(vec&&) noexcept = default;
+  vec(const vec& o) : v_(o.v_) { reg(); }
+  vec& operator=(const vec& o) {
+    v_ = o.v_;
+    reg();
+    return *this;
+  }
+
+  slice<T> s() { return slice<T>(v_.data(), v_.size(), buf_, 0); }
+  slice<const T> cs() const {
+    return slice<const T>(v_.data(), v_.size(), buf_, 0);
+  }
+
+  T& operator[](size_t i) { return s()[i]; }
+  const T& operator[](size_t i) const { return cs()[i]; }
+
+  size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+  std::vector<T>& underlying() { return v_; }
+  const std::vector<T>& underlying() const { return v_; }
+  T* data() { return v_.data(); }
+  const T* data() const { return v_.data(); }
+
+ private:
+  void reg() {
+    if (sim::Session* s = sim::current_session()) {
+      buf_ = s->register_buffer(v_.size() * sizeof(T));
+    } else {
+      buf_ = sim::kNoBuf;
+    }
+  }
+  std::vector<T> v_;
+  uint32_t buf_ = sim::kNoBuf;
+};
+
+}  // namespace dopar

@@ -1,0 +1,73 @@
+#pragma once
+// Cache-agnostic parallel matrix transposition.
+//
+// REC-ORBA, REC-SORT and the cache-agnostic bitonic merge all hinge on
+// transposing a rows x cols matrix of fixed-size blocks ("bins") between
+// recursion phases (paper Sections D.1, E.1.2). The recursion here splits
+// the larger dimension until a tile fits comfortably in any cache level,
+// giving the O(size/B) cache-agnostic bound; parallelism comes from binary
+// forks on the two halves.
+//
+// Access patterns depend only on the matrix shape — never on element values
+// — so transposition is trivially data-oblivious.
+
+#include <cstddef>
+
+#include "forkjoin/api.hpp"
+#include "sim/tracked.hpp"
+
+namespace dopar::util {
+
+namespace detail {
+
+template <class T>
+void transpose_rec(const slice<T>& src, const slice<T>& dst, size_t rows,
+                   size_t cols, size_t r0, size_t c0, size_t nr, size_t nc,
+                   size_t block) {
+  // Tile threshold in *elements* (block-sized runs count as block elements).
+  constexpr size_t kTileElems = 1024;
+  if (nr * nc * block <= kTileElems || (nr == 1 && nc == 1)) {
+    // The tile copy itself is forked (for_range collapses to grain 1 in
+    // analytic mode) so the transpose's measured span is O(log(size)), as
+    // the paper's recurrences assume — not O(tile).
+    const size_t total = nr * nc * block;
+    fj::for_range(0, total, 128, [&](size_t t) {
+      const size_t rc = t / block;
+      const size_t k = t % block;
+      const size_t r = r0 + rc / nc;
+      const size_t c = c0 + rc % nc;
+      dst[(c * rows + r) * block + k] = src[(r * cols + c) * block + k];
+    });
+    return;
+  }
+  if (nr >= nc) {
+    const size_t half = nr / 2;
+    fj::invoke(
+        [&] { transpose_rec(src, dst, rows, cols, r0, c0, half, nc, block); },
+        [&] {
+          transpose_rec(src, dst, rows, cols, r0 + half, c0, nr - half, nc,
+                        block);
+        });
+  } else {
+    const size_t half = nc / 2;
+    fj::invoke(
+        [&] { transpose_rec(src, dst, rows, cols, r0, c0, nr, half, block); },
+        [&] {
+          transpose_rec(src, dst, rows, cols, r0, c0 + half, nr, nc - half,
+                        block);
+        });
+  }
+}
+
+}  // namespace detail
+
+/// Out-of-place transpose of a `rows` x `cols` matrix whose entries are
+/// contiguous runs of `block` elements of T. src has rows*cols*block
+/// elements laid out row-major; dst receives the cols x rows transpose.
+template <class T>
+void transpose_blocks(const slice<T>& src, const slice<T>& dst, size_t rows,
+                      size_t cols, size_t block = 1) {
+  detail::transpose_rec(src, dst, rows, cols, 0, 0, rows, cols, block);
+}
+
+}  // namespace dopar::util

@@ -1,0 +1,68 @@
+#pragma once
+// van Emde Boas layout for complete binary trees.
+//
+// Theorem 4.2's cache bound requires storing each ORAM tree in vEB layout so
+// that a root-to-leaf path of length O(log s) costs only O(log_B s) cache
+// misses (paper Section 4.2). This header computes the layout permutation:
+// a complete binary tree of L levels (2^L - 1 nodes, heap-numbered from 1)
+// is split into a top subtree of ceil(L/2) levels and bottom subtrees of
+// floor(L/2) levels, each laid out contiguously and recursively.
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace dopar::util {
+
+namespace detail {
+
+// Assign layout offsets for the subtree rooted at heap index `root` with
+// `levels` levels, starting at layout offset `base`. Returns node count.
+inline uint64_t veb_place(std::vector<uint32_t>& pos, uint64_t root,
+                          unsigned levels, uint64_t base) {
+  if (levels == 1) {
+    pos[root] = static_cast<uint32_t>(base);
+    return 1;
+  }
+  const unsigned bottom = levels / 2;
+  const unsigned top = levels - bottom;
+  uint64_t used = veb_place(pos, root, top, base);
+  // Roots of the bottom subtrees are the heap descendants of `root` at
+  // relative depth `top`.
+  const uint64_t first = root << top;
+  for (uint64_t k = 0; k < (uint64_t{1} << top); ++k) {
+    used += veb_place(pos, first + k, bottom, base + used);
+  }
+  return used;
+}
+
+}  // namespace detail
+
+/// Layout table: heap index (1-based, 1..2^L-1) -> vEB array offset.
+class VebLayout {
+ public:
+  explicit VebLayout(unsigned levels) : levels_(levels) {
+    assert(levels >= 1 && levels < 31);
+    pos_.assign(uint64_t{1} << levels, 0);
+    const uint64_t used = detail::veb_place(pos_, 1, levels, 0);
+    assert(used == (uint64_t{1} << levels) - 1);
+    (void)used;
+  }
+
+  /// Array offset of heap node `h` (1-based).
+  uint32_t offset(uint64_t h) const {
+    assert(h >= 1 && h < pos_.size());
+    return pos_[h];
+  }
+
+  unsigned levels() const { return levels_; }
+  uint64_t node_count() const { return (uint64_t{1} << levels_) - 1; }
+
+ private:
+  unsigned levels_;
+  std::vector<uint32_t> pos_;
+};
+
+}  // namespace dopar::util

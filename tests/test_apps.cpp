@@ -1,0 +1,339 @@
+// Integration tests: Section 5 applications (list ranking, Euler tour +
+// tree functions, tree contraction, connected components, MSF) — oblivious
+// versions vs insecure baselines vs independent oracles.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "apps/cc.hpp"
+#include "apps/common.hpp"
+#include "apps/contraction.hpp"
+#include "apps/euler.hpp"
+#include "apps/listrank.hpp"
+#include "apps/msf.hpp"
+#include "insecure/contraction.hpp"
+#include "insecure/euler.hpp"
+#include "insecure/graph.hpp"
+#include "insecure/listrank.hpp"
+#include "util/rng.hpp"
+
+namespace dopar {
+namespace {
+
+std::vector<uint64_t> random_list_succ(size_t n, uint64_t seed,
+                                       std::vector<uint64_t>* order_out =
+                                           nullptr) {
+  util::Rng rng(seed);
+  std::vector<uint64_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  for (size_t i = n; i > 1; --i) std::swap(order[i - 1], order[rng.below(i)]);
+  std::vector<uint64_t> succ(n);
+  for (size_t i = 0; i + 1 < n; ++i) succ[order[i]] = order[i + 1];
+  succ[order[n - 1]] = order[n - 1];
+  if (order_out) *order_out = order;
+  return succ;
+}
+
+TEST(GatherScatter, GatherFetchesTableValues) {
+  vec<uint64_t> table(16), addrs(5), out(5);
+  for (size_t i = 0; i < 16; ++i) table.s()[i] = 100 + i;
+  const uint64_t q[5] = {3, 0, 15, 3, 7};
+  for (size_t i = 0; i < 5; ++i) addrs.s()[i] = q[i];
+  apps::gather(table.s(), addrs.s(), out.s());
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(out.s()[i], 100 + q[i]);
+}
+
+TEST(GatherScatter, ScatterMinKeepsMinimumProposal) {
+  vec<uint64_t> table(8, 999), addrs(4), vals(4), live(4, 1);
+  const uint64_t a[4] = {2, 2, 5, 2};
+  const uint64_t v[4] = {30, 10, 7, 20};
+  for (size_t i = 0; i < 4; ++i) {
+    addrs.s()[i] = a[i];
+    vals.s()[i] = v[i];
+  }
+  apps::scatter_min(table.s(), addrs.s(), vals.s(), live.s());
+  EXPECT_EQ(table.s()[2], 10u);
+  EXPECT_EQ(table.s()[5], 7u);
+  EXPECT_EQ(table.s()[0], 999u);  // untouched
+}
+
+TEST(GatherScatter, DeadProposalsAreIgnored) {
+  vec<uint64_t> table(4, 50), addrs(2), vals(2), live(2);
+  addrs.s()[0] = 1;
+  vals.s()[0] = 5;
+  live.s()[0] = 0;
+  addrs.s()[1] = 2;
+  vals.s()[1] = 7;
+  live.s()[1] = 1;
+  apps::scatter_min(table.s(), addrs.s(), vals.s(), live.s());
+  EXPECT_EQ(table.s()[1], 50u);
+  EXPECT_EQ(table.s()[2], 7u);
+}
+
+TEST(GatherScatter, CombineMinRespectsOldValue) {
+  vec<uint64_t> table(4, 3), addrs(1), vals(1), live(1, 1);
+  addrs.s()[0] = 0;
+  vals.s()[0] = 9;
+  apps::scatter_min(table.s(), addrs.s(), vals.s(), live.s(), {}, true);
+  EXPECT_EQ(table.s()[0], 3u);  // old value smaller, kept
+}
+
+class ListRankTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ListRankTest, ObliviousMatchesInsecureAndGroundTruth) {
+  const size_t n = GetParam();
+  std::vector<uint64_t> order;
+  auto succ = random_list_succ(n, 31 + n, &order);
+  auto obl = apps::list_rank_oblivious(succ, /*seed=*/n);
+  auto ins = insecure::list_rank(succ);
+  ASSERT_EQ(obl, ins);
+  // Ground truth: order[k] has distance n-1-k to the tail.
+  for (size_t k = 0; k < n; ++k) {
+    EXPECT_EQ(obl[order[k]], n - 1 - k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ListRankTest,
+                         ::testing::Values(size_t{1}, size_t{2}, size_t{17},
+                                           size_t{128}, size_t{1000}));
+
+TEST(ListRank, WeightedRanksSumPathWeights) {
+  constexpr size_t n = 64;
+  std::vector<uint64_t> order;
+  auto succ = random_list_succ(n, 5, &order);
+  std::vector<uint64_t> weight(n);
+  for (size_t i = 0; i < n; ++i) weight[i] = i + 1;
+  auto obl = apps::list_rank_oblivious(succ, weight, 99);
+  auto ins = insecure::list_rank(succ, weight);
+  EXPECT_EQ(obl, ins);
+  // Tail rank 0; its predecessor has rank = its own weight.
+  EXPECT_EQ(obl[order[n - 1]], 0u);
+  EXPECT_EQ(obl[order[n - 2]], weight[order[n - 2]]);
+}
+
+// --- Trees ----------------------------------------------------------------
+
+std::vector<apps::Edge> random_tree(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<apps::Edge> edges;
+  for (uint32_t v = 1; v < n; ++v) {
+    edges.push_back(apps::Edge{static_cast<uint32_t>(rng.below(v)), v});
+  }
+  return edges;
+}
+
+struct RefTree {
+  std::vector<uint64_t> parent, depth, subtree;
+};
+
+RefTree reference_tree(size_t n, const std::vector<apps::Edge>& edges,
+                       uint32_t root) {
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (const auto& e : edges) {
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  RefTree rt;
+  rt.parent.assign(n, root);
+  rt.depth.assign(n, 0);
+  rt.subtree.assign(n, 1);
+  // Iterative DFS.
+  std::vector<uint32_t> stack{root}, order;
+  std::vector<bool> seen(n, false);
+  seen[root] = true;
+  while (!stack.empty()) {
+    const uint32_t v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    for (uint32_t w : adj[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        rt.parent[w] = v;
+        rt.depth[w] = rt.depth[v] + 1;
+        stack.push_back(w);
+      }
+    }
+  }
+  for (size_t k = order.size(); k-- > 0;) {
+    const uint32_t v = order[k];
+    if (v != root) rt.subtree[rt.parent[v]] += rt.subtree[v];
+  }
+  return rt;
+}
+
+class TreeFnTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TreeFnTest, ObliviousMatchesReferenceDfs) {
+  const size_t n = GetParam();
+  auto edges = random_tree(n, 7 * n);
+  const uint32_t root = 0;
+  auto tf = apps::tree_functions_oblivious(edges, root, /*seed=*/n);
+  auto ins = insecure::tree_functions(
+      [&] {
+        std::vector<insecure::Edge> ie(edges.size());
+        for (size_t i = 0; i < edges.size(); ++i) {
+          ie[i] = insecure::Edge{edges[i].u, edges[i].v};
+        }
+        return ie;
+      }(),
+      root);
+  RefTree rt = reference_tree(n, edges, root);
+  for (size_t v = 0; v < n; ++v) {
+    EXPECT_EQ(tf.parent[v], rt.parent[v]) << v;
+    EXPECT_EQ(tf.depth[v], rt.depth[v]) << v;
+    EXPECT_EQ(tf.subtree[v], rt.subtree[v]) << v;
+    EXPECT_EQ(ins.parent[v], rt.parent[v]) << v;
+    EXPECT_EQ(ins.depth[v], rt.depth[v]) << v;
+    EXPECT_EQ(ins.subtree[v], rt.subtree[v]) << v;
+  }
+  // Preorder: a valid preorder numbering visits parents before children.
+  for (size_t v = 1; v < n; ++v) {
+    EXPECT_LT(tf.preorder[rt.parent[v]], tf.preorder[v]) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeFnTest,
+                         ::testing::Values(size_t{2}, size_t{3}, size_t{9},
+                                           size_t{40}, size_t{150}));
+
+// --- Expression trees -------------------------------------------------------
+
+apps::ExprTree random_expr_tree(size_t leaves, uint64_t seed) {
+  util::Rng rng(seed);
+  apps::ExprTree t;
+  // Build bottom-up: combine random roots until one remains.
+  std::vector<uint64_t> roots;
+  for (size_t i = 0; i < leaves; ++i) {
+    t.c0.push_back(apps::kNoNode);
+    t.c1.push_back(apps::kNoNode);
+    t.op.push_back(0);
+    t.value.push_back(rng.below(1'000'000));
+    roots.push_back(i);
+  }
+  while (roots.size() > 1) {
+    const size_t i = rng.below(roots.size());
+    const uint64_t a = roots[i];
+    roots[i] = roots.back();
+    roots.pop_back();
+    const size_t j = rng.below(roots.size());
+    const uint64_t b = roots[j];
+    t.c0.push_back(a);
+    t.c1.push_back(b);
+    t.op.push_back(static_cast<uint8_t>(rng.below(2)));
+    t.value.push_back(0);
+    roots[j] = t.c0.size() - 1;
+  }
+  t.root = roots[0];
+  return t;
+}
+
+class ContractionTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ContractionTest, ObliviousRakeMatchesRecursiveEval) {
+  const size_t leaves = GetParam();
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    apps::ExprTree t = random_expr_tree(leaves, seed * 100 + leaves);
+    const uint64_t expect = apps::tree_eval_reference(t);
+    EXPECT_EQ(apps::tree_eval_oblivious(t), expect) << seed;
+    EXPECT_EQ(insecure::tree_eval(t), expect) << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ContractionTest,
+                         ::testing::Values(size_t{1}, size_t{2}, size_t{5},
+                                           size_t{16}, size_t{33},
+                                           size_t{100}));
+
+// --- Graphs -----------------------------------------------------------------
+
+std::vector<apps::GEdge> random_graph(size_t n, size_t m, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<apps::GEdge> edges(m);
+  for (size_t e = 0; e < m; ++e) {
+    uint32_t u = static_cast<uint32_t>(rng.below(n));
+    uint32_t v = static_cast<uint32_t>(rng.below(n));
+    if (u == v) v = (v + 1) % n;
+    edges[e] = apps::GEdge{u, v, 0};
+  }
+  return edges;
+}
+
+class CcTest : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(CcTest, ObliviousAndInsecureMatchOracle) {
+  const auto [n, m] = GetParam();
+  auto edges = random_graph(n, m, n * 13 + m);
+  auto oracle = insecure::cc_oracle(n, edges);
+  auto obl = apps::connected_components_oblivious(n, edges);
+  auto ins = insecure::connected_components(n, edges);
+  EXPECT_EQ(obl, oracle);
+  EXPECT_EQ(ins, oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CcTest,
+    ::testing::Values(std::pair<size_t, size_t>{8, 4},
+                      std::pair<size_t, size_t>{64, 32},
+                      std::pair<size_t, size_t>{64, 200},
+                      std::pair<size_t, size_t>{200, 100}));
+
+TEST(Cc, AdversarialShapesPathAndStar) {
+  constexpr size_t n = 128;
+  // Path 0-1-2-...-n-1.
+  std::vector<apps::GEdge> path;
+  for (uint32_t v = 1; v < n; ++v) {
+    path.push_back(apps::GEdge{v - 1, v, 0});
+  }
+  EXPECT_EQ(apps::connected_components_oblivious(n, path),
+            insecure::cc_oracle(n, path));
+  // Star centered at n-1 (max id) to stress hooking direction.
+  std::vector<apps::GEdge> star;
+  for (uint32_t v = 0; v + 1 < n; ++v) {
+    star.push_back(apps::GEdge{static_cast<uint32_t>(n - 1), v, 0});
+  }
+  EXPECT_EQ(apps::connected_components_oblivious(n, star),
+            insecure::cc_oracle(n, star));
+}
+
+class MsfTest : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(MsfTest, TotalWeightMatchesKruskalAndFormsSpanningForest) {
+  const auto [n, m] = GetParam();
+  auto edges = random_graph(n, m, n * 7 + m + 1);
+  util::Rng rng(n + m);
+  for (size_t e = 0; e < m; ++e) {
+    edges[e].w = e * 3 + 1;  // distinct weights
+  }
+  const uint64_t want = insecure::msf_weight_oracle(n, edges);
+  auto flags = apps::msf_oblivious(n, edges);
+  uint64_t got = 0;
+  size_t count = 0;
+  insecure::UnionFind uf(n);
+  for (size_t e = 0; e < m; ++e) {
+    if (flags[e]) {
+      got += edges[e].w;
+      ++count;
+      EXPECT_TRUE(uf.unite(edges[e].u, edges[e].v)) << "cycle edge " << e;
+    }
+  }
+  EXPECT_EQ(got, want);
+  auto insecure_flags = insecure::msf(n, edges);
+  uint64_t got2 = 0;
+  for (size_t e = 0; e < m; ++e) {
+    if (insecure_flags[e]) got2 += edges[e].w;
+  }
+  EXPECT_EQ(got2, want);
+  (void)count;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MsfTest,
+    ::testing::Values(std::pair<size_t, size_t>{8, 10},
+                      std::pair<size_t, size_t>{32, 60},
+                      std::pair<size_t, size_t>{100, 300}));
+
+}  // namespace
+}  // namespace dopar

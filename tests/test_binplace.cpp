@@ -1,0 +1,144 @@
+// Unit tests: oblivious bin placement (Chan–Shi, paper Section C.1).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "obl/binplace.hpp"
+#include "sim/session.hpp"
+#include "testutil.hpp"
+#include "util/rng.hpp"
+
+namespace dopar {
+namespace {
+
+using obl::Elem;
+
+// Destination bin lives in e.extra for these tests.
+struct GroupFromExtra {
+  uint64_t operator()(const Elem& e) const { return e.extra; }
+};
+
+TEST(BinPlacement, RoutesEveryRealElementToItsBin) {
+  constexpr size_t beta = 8, Z = 16;
+  util::Rng rng(11);
+  std::vector<Elem> in(beta * Z / 2);
+  for (size_t i = 0; i < in.size(); ++i) {
+    in[i].key = i;
+    in[i].payload = 1000 + i;
+    in[i].extra = static_cast<uint32_t>(rng.below(beta));
+  }
+  vec<Elem> inv(in);
+  vec<Elem> out(beta * Z);
+  obl::bin_placement(inv.s(), out.s(), beta, Z, GroupFromExtra{});
+
+  std::map<uint64_t, size_t> expected;
+  for (const Elem& e : in) expected[e.extra]++;
+  for (size_t b = 0; b < beta; ++b) {
+    size_t reals = 0;
+    for (size_t k = 0; k < Z; ++k) {
+      const Elem& e = out.underlying()[b * Z + k];
+      if (!e.is_filler()) {
+        EXPECT_EQ(e.extra, b) << "element in wrong bin";
+        ++reals;
+      }
+    }
+    EXPECT_EQ(reals, expected[b]) << "bin " << b;
+  }
+}
+
+TEST(BinPlacement, PadsEveryBinToCapacity) {
+  constexpr size_t beta = 4, Z = 8;
+  std::vector<Elem> in(4);
+  for (size_t i = 0; i < in.size(); ++i) in[i].extra = 2;  // all to bin 2
+  vec<Elem> inv(in);
+  vec<Elem> out(beta * Z);
+  obl::bin_placement(inv.s(), out.s(), beta, Z, GroupFromExtra{});
+  for (size_t b = 0; b < beta; ++b) {
+    size_t reals = 0;
+    for (size_t k = 0; k < Z; ++k) {
+      reals += !out.underlying()[b * Z + k].is_filler();
+    }
+    EXPECT_EQ(reals, b == 2 ? 4u : 0u);
+  }
+}
+
+TEST(BinPlacement, InputFillersAreDiscarded) {
+  constexpr size_t beta = 2, Z = 4;
+  std::vector<Elem> in(6, Elem::filler());
+  in[1] = Elem{};
+  in[1].key = 7;
+  in[1].extra = 1;
+  vec<Elem> inv(in);
+  vec<Elem> out(beta * Z);
+  obl::bin_placement(inv.s(), out.s(), beta, Z, GroupFromExtra{});
+  size_t reals = 0;
+  for (const Elem& e : out.underlying()) reals += !e.is_filler();
+  EXPECT_EQ(reals, 1u);
+  EXPECT_FALSE(out.underlying()[Z].is_filler());  // head of bin 1
+  EXPECT_EQ(out.underlying()[Z].key, 7u);
+}
+
+TEST(BinPlacement, ThrowsOnOverflow) {
+  constexpr size_t beta = 4, Z = 4;
+  std::vector<Elem> in(Z + 1);
+  for (auto& e : in) e.extra = 0;  // Z+1 elements into one Z-capacity bin
+  vec<Elem> inv(in);
+  vec<Elem> out(beta * Z);
+  EXPECT_THROW(
+      obl::bin_placement(inv.s(), out.s(), beta, Z, GroupFromExtra{}),
+      obl::BinOverflow);
+}
+
+TEST(BinPlacement, ExactlyFullBinIsFine) {
+  constexpr size_t beta = 4, Z = 4;
+  std::vector<Elem> in(Z);
+  for (size_t i = 0; i < in.size(); ++i) {
+    in[i].extra = 3;
+    in[i].key = i;
+  }
+  vec<Elem> inv(in);
+  vec<Elem> out(beta * Z);
+  obl::bin_placement(inv.s(), out.s(), beta, Z, GroupFromExtra{});
+  for (size_t k = 0; k < Z; ++k) {
+    EXPECT_FALSE(out.underlying()[3 * Z + k].is_filler());
+  }
+}
+
+TEST(BinPlacement, TraceIndependentOfBinChoices) {
+  auto digest_of = [](uint64_t seed) {
+    sim::Session s = sim::Session::analytic().with_trace();
+    sim::ScopedSession guard(s);
+    constexpr size_t beta = 8, Z = 32;  // Z comfortably above the mean load
+    util::Rng rng(seed);
+    std::vector<Elem> in(beta * Z / 2);
+    for (auto& e : in) e.extra = static_cast<uint32_t>(rng.below(beta));
+    vec<Elem> inv(in);
+    vec<Elem> out(beta * Z);
+    obl::bin_placement(inv.s(), out.s(), beta, Z, GroupFromExtra{});
+    return s.log()->digest();
+  };
+  EXPECT_EQ(digest_of(1), digest_of(2));
+  EXPECT_EQ(digest_of(2), digest_of(3));
+}
+
+TEST(BinPlacement, WorksWithOddEvenSorter) {
+  constexpr size_t beta = 4, Z = 8;
+  util::Rng rng(13);
+  std::vector<Elem> in(beta * Z / 2);
+  for (size_t i = 0; i < in.size(); ++i) {
+    in[i].key = i;
+    in[i].extra = static_cast<uint32_t>(rng.below(beta));
+  }
+  vec<Elem> inv(in);
+  vec<Elem> out(beta * Z);
+  obl::bin_placement(inv.s(), out.s(), beta, Z, GroupFromExtra{},
+                     obl::OddEvenSorter{});
+  size_t reals = 0;
+  for (const Elem& e : out.underlying()) reals += !e.is_filler();
+  EXPECT_EQ(reals, in.size());
+}
+
+}  // namespace
+}  // namespace dopar

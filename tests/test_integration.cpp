@@ -1,0 +1,158 @@
+// End-to-end integration tests: whole pipelines under measurement
+// sessions, multi-module compositions, and the parallel pool running the
+// real algorithms.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "apps/cc.hpp"
+#include "apps/listrank.hpp"
+#include "core/osort.hpp"
+#include "forkjoin/pool.hpp"
+#include "insecure/graph.hpp"
+#include "obl/sendrecv.hpp"
+#include "pram/oblivious_sb.hpp"
+#include "pram/reference.hpp"
+#include "pram/samples.hpp"
+#include "sim/session.hpp"
+#include "testutil.hpp"
+#include "util/rng.hpp"
+
+namespace dopar {
+namespace {
+
+using obl::Elem;
+
+TEST(Integration, OsortUnderFullInstrumentationStaysCorrect) {
+  // Cache sim + trace + cost accounting all at once must not perturb
+  // results.
+  constexpr size_t n = 2048;
+  auto in = test::random_elems(n, 9);
+  sim::Session s =
+      sim::Session::analytic().with_cache(64 * 1024, 64).with_trace();
+  std::vector<Elem> result;
+  {
+    sim::ScopedSession guard(s);
+    vec<Elem> v(in);
+    core::osort(v.s(), 3);
+    result = v.underlying();
+  }
+  EXPECT_TRUE(test::sorted_by_key(result));
+  EXPECT_GT(s.cost().work, n * 10);
+  EXPECT_GT(s.cache()->misses(), 0u);
+  EXPECT_GT(s.log()->size(), n);
+}
+
+TEST(Integration, OsortOnRealThreadPoolMatchesSerial) {
+  constexpr size_t n = 20'000;
+  auto in = test::random_elems(n, 10);
+  std::vector<Elem> serial = in;
+  {
+    vec<Elem> v(in);
+    core::osort(v.s(), 7);
+    serial = v.underlying();
+  }
+  std::vector<Elem> parallel;
+  {
+    fj::WithPool wp(3);
+    vec<Elem> v(in);
+    wp.run([&] { core::osort(v.s(), 7); });
+    parallel = v.underlying();
+  }
+  // Same seed => identical permutation and pivot draws => identical output.
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(parallel[i].key, serial[i].key) << i;
+  }
+}
+
+TEST(Integration, ListRankingOnPoolAgreesWithAnalytic) {
+  constexpr size_t n = 2000;
+  util::Rng rng(4);
+  std::vector<uint64_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  for (size_t i = n; i > 1; --i) std::swap(order[i - 1], order[rng.below(i)]);
+  std::vector<uint64_t> succ(n);
+  for (size_t i = 0; i + 1 < n; ++i) succ[order[i]] = order[i + 1];
+  succ[order[n - 1]] = order[n - 1];
+
+  auto serial = apps::list_rank_oblivious(succ, 11);
+  std::vector<uint64_t> pooled;
+  {
+    fj::WithPool wp(2);
+    wp.run([&] { pooled = apps::list_rank_oblivious(succ, 11); });
+  }
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(Integration, PramSimulationWithOsortSorterEndToEnd) {
+  // Theorem 4.1 with the real oblivious sort plugged in, under cost
+  // accounting, vs the reference emulator.
+  auto succ = std::vector<uint64_t>{1, 2, 3, 3};  // tiny list
+  pram::PointerJumpProgram a(succ), b(succ);
+  auto ref = pram::run_reference(a);
+  sim::Session s = sim::Session::analytic();
+  std::vector<uint64_t> obl_mem;
+  {
+    sim::ScopedSession guard(s);
+    core::OsortSorter sorter;
+    obl_mem = pram::run_oblivious_sb(b, sorter);
+  }
+  EXPECT_EQ(ref, obl_mem);
+  EXPECT_GT(s.cost().work, 0u);
+}
+
+TEST(Integration, SendReceiveChain) {
+  // Route values through two hops: A -> B -> C, as the applications do.
+  constexpr size_t n = 200;
+  std::vector<Elem> tableA(n), queriesB(n);
+  for (size_t i = 0; i < n; ++i) {
+    tableA[i].key = i;
+    tableA[i].payload = (i * 17) % n;  // pointer to another slot
+    queriesB[i].key = i;
+  }
+  vec<Elem> a(tableA), qb(queriesB), r1(n), r2(n);
+  obl::send_receive(a.s(), qb.s(), r1.s());
+  // Second hop: ask for the slot the first hop pointed at.
+  vec<Elem> q2(n);
+  for (size_t i = 0; i < n; ++i) {
+    Elem d;
+    d.key = r1.underlying()[i].payload;
+    q2.underlying()[i] = d;
+  }
+  obl::send_receive(a.s(), q2.s(), r2.s());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(r2.underlying()[i].payload, (((i * 17) % n) * 17) % n);
+  }
+}
+
+TEST(Integration, CcWithOsortSorterOnSmallGraph) {
+  constexpr size_t n = 24;
+  std::vector<apps::GEdge> edges{{0, 1, 0}, {1, 2, 0}, {5, 6, 0},
+                                 {6, 7, 0},  {7, 5, 0}, {10, 11, 0}};
+  auto oracle = insecure::cc_oracle(n, edges);
+  auto labels = apps::connected_components_oblivious(n, edges);
+  EXPECT_EQ(labels, oracle);
+}
+
+TEST(Integration, DeterminismAcrossRuns) {
+  // Same seeds => byte-identical outputs for the whole pipeline (needed
+  // for reproducible experiments).
+  constexpr size_t n = 1024;
+  auto in = test::random_elems(n, 12);
+  auto run = [&] {
+    vec<Elem> v(in);
+    core::osort(v.s(), 99);
+    return v.underlying();
+  };
+  auto r1 = run(), r2 = run();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(r1[i].key, r2[i].key);
+    EXPECT_EQ(r1[i].payload, r2[i].payload);
+  }
+}
+
+}  // namespace
+}  // namespace dopar

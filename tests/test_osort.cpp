@@ -1,0 +1,166 @@
+// Unit tests: the full oblivious sort (both variants), REC-SORT, pivot
+// selection and the insecure merge-sort baseline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/osort.hpp"
+#include "insecure/mergesort.hpp"
+#include "sim/session.hpp"
+#include "testutil.hpp"
+
+namespace dopar {
+namespace {
+
+using core::Variant;
+using obl::Elem;
+
+class OsortTest
+    : public ::testing::TestWithParam<std::tuple<Variant, size_t>> {};
+
+TEST_P(OsortTest, SortsRandomInput) {
+  const auto [variant, n] = GetParam();
+  auto in = test::random_elems(n, 17 * n + 1);
+  vec<Elem> v(in);
+  core::osort(v.s(), /*seed=*/n, variant);
+  EXPECT_TRUE(test::sorted_by_key(v.underlying()));
+  EXPECT_TRUE(test::same_keys(v.underlying(), in));
+}
+
+TEST_P(OsortTest, SortsDuplicateHeavyInput) {
+  const auto [variant, n] = GetParam();
+  std::vector<Elem> in(n);
+  for (size_t i = 0; i < n; ++i) {
+    in[i].key = i % 3;  // three distinct keys
+    in[i].payload = i;
+  }
+  vec<Elem> v(in);
+  core::osort(v.s(), 11, variant);
+  EXPECT_TRUE(test::sorted_by_key(v.underlying()));
+  EXPECT_TRUE(test::same_keys(v.underlying(), in));
+}
+
+TEST_P(OsortTest, SortsConstantInput) {
+  const auto [variant, n] = GetParam();
+  std::vector<Elem> in(n);
+  for (size_t i = 0; i < n; ++i) {
+    in[i].key = 5;
+    in[i].payload = i;
+  }
+  vec<Elem> v(in);
+  core::osort(v.s(), 13, variant);
+  for (const Elem& e : v.underlying()) EXPECT_EQ(e.key, 5u);
+}
+
+TEST_P(OsortTest, SortsSortedAndReversedInput) {
+  const auto [variant, n] = GetParam();
+  std::vector<Elem> asc(n), desc(n);
+  for (size_t i = 0; i < n; ++i) {
+    asc[i].key = i;
+    desc[i].key = n - i;
+  }
+  vec<Elem> a(asc), d(desc);
+  core::osort(a.s(), 3, variant);
+  core::osort(d.s(), 4, variant);
+  EXPECT_TRUE(test::sorted_by_key(a.underlying()));
+  EXPECT_TRUE(test::sorted_by_key(d.underlying()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndSizes, OsortTest,
+    ::testing::Combine(::testing::Values(Variant::Theoretical,
+                                         Variant::Practical),
+                       ::testing::Values(size_t{1}, size_t{2}, size_t{100},
+                                         size_t{1024}, size_t{5000},
+                                         size_t{8192})));
+
+TEST(Osort, PayloadsTravelWithKeys) {
+  constexpr size_t n = 2048;
+  std::vector<Elem> in(n);
+  for (size_t i = 0; i < n; ++i) {
+    in[i].key = (i * 2654435761u) % 100000;
+    in[i].payload = in[i].key * 7 + 1;
+    in[i].aux = in[i].key * 13 + 2;
+  }
+  vec<Elem> v(in);
+  core::osort(v.s(), 6, Variant::Practical);
+  for (const Elem& e : v.underlying()) {
+    EXPECT_EQ(e.payload, e.key * 7 + 1);
+    EXPECT_EQ(e.aux, e.key * 13 + 2);
+  }
+}
+
+TEST(Osort, ManySeedsAllSucceed) {
+  // Exercises the retry machinery: every seed must converge.
+  constexpr size_t n = 512;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    auto in = test::random_elems(n, seed + 1000);
+    vec<Elem> v(in);
+    core::osort(v.s(), seed, Variant::Practical);
+    ASSERT_TRUE(test::sorted_by_key(v.underlying())) << seed;
+  }
+}
+
+TEST(Osort, WorkIsNLogNShapedTheoretical) {
+  auto work_of = [](size_t n) {
+    sim::Session s = sim::Session::analytic();
+    sim::ScopedSession guard(s);
+    auto in = test::random_elems(n, 5);
+    vec<Elem> v(in);
+    core::osort(v.s(), 3, Variant::Theoretical);
+    return double(s.cost().work);
+  };
+  const double r = work_of(1 << 14) / work_of(1 << 12);
+  EXPECT_LT(r, 7.0);  // ~4.7 for n log n; 16 for quadratic
+  EXPECT_GT(r, 3.0);
+}
+
+TEST(Osort, SpanIsPolylog) {
+  auto span_of = [](size_t n) {
+    sim::Session s = sim::Session::analytic();
+    sim::ScopedSession guard(s);
+    auto in = test::random_elems(n, 5);
+    vec<Elem> v(in);
+    core::osort(v.s(), 3, Variant::Practical);
+    return double(s.cost().span);
+  };
+  // Quadrupling n must grow span far less than 4x.
+  const double r = span_of(1 << 13) / span_of(1 << 11);
+  EXPECT_LT(r, 2.6);
+}
+
+TEST(OsortSorter, PluggableIntoElemSorts) {
+  constexpr size_t n = 1024;
+  auto in = test::random_elems(n, 77);
+  vec<Elem> v(in);
+  core::OsortSorter sorter;
+  sorter(v.s(), obl::ByKey{});
+  EXPECT_TRUE(test::sorted_by_key(v.underlying()));
+}
+
+TEST(InsecureMergeSort, SortsAndIsStableUnderLess) {
+  constexpr size_t n = 3000;
+  auto in = test::random_elems(n, 55, /*key_bound=*/64);
+  vec<Elem> v(in);
+  insecure::merge_sort(v.s());
+  EXPECT_TRUE(test::sorted_by_key(v.underlying()));
+  EXPECT_TRUE(test::same_keys(v.underlying(), in));
+}
+
+TEST(InsecureMergeSort, SpanIsPolylog) {
+  auto span_of = [](size_t n) {
+    sim::Session s = sim::Session::analytic();
+    sim::ScopedSession guard(s);
+    auto in = test::random_elems(n, 5);
+    vec<Elem> v(in);
+    insecure::merge_sort(v.s());
+    return double(s.cost().span);
+  };
+  const double r = span_of(1 << 14) / span_of(1 << 12);
+  EXPECT_LT(r, 2.0);  // log^3 growth: (14/12)^3 ~ 1.6
+}
+
+}  // namespace
+}  // namespace dopar

@@ -1,0 +1,119 @@
+// Unit tests: CRCW PRAM engines — reference emulator vs the oblivious
+// space-bounded simulation (Theorem 4.1) and the large-space OPRAM-based
+// simulation (Theorem 4.2).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/osort.hpp"
+#include "pram/oblivious_ls.hpp"
+#include "pram/oblivious_sb.hpp"
+#include "pram/reference.hpp"
+#include "pram/samples.hpp"
+#include "sim/session.hpp"
+#include "util/rng.hpp"
+
+namespace dopar {
+namespace {
+
+std::vector<uint64_t> random_values(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<uint64_t> v(n);
+  for (auto& x : v) x = rng.below(1'000'000);
+  return v;
+}
+
+std::vector<uint64_t> random_list_succ(size_t n, uint64_t seed) {
+  // A random linked list over 0..n-1 as a successor array (tail: succ=i).
+  util::Rng rng(seed);
+  std::vector<uint64_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  for (size_t i = n; i > 1; --i) std::swap(order[i - 1], order[rng.below(i)]);
+  std::vector<uint64_t> succ(n);
+  for (size_t i = 0; i + 1 < n; ++i) succ[order[i]] = order[i + 1];
+  succ[order[n - 1]] = order[n - 1];
+  return succ;
+}
+
+TEST(PramReference, MaxReduceComputesMax) {
+  auto vals = random_values(64, 3);
+  pram::MaxReduceProgram prog(vals);
+  auto mem = pram::run_reference(prog);
+  EXPECT_EQ(mem[0], *std::max_element(vals.begin(), vals.end()));
+}
+
+TEST(PramReference, PriorityRuleLowestPidWins) {
+  pram::WriteConflictProgram prog(8, 16);
+  auto mem = pram::run_reference(prog);
+  for (size_t step = 0; step < 16; ++step) {
+    EXPECT_EQ(mem[step], 1000 * (step % 8) + step);
+  }
+}
+
+TEST(PramObliviousSB, MatchesReferenceOnMaxReduce) {
+  auto vals = random_values(32, 5);
+  pram::MaxReduceProgram a(vals), b(vals);
+  EXPECT_EQ(pram::run_reference(a), pram::run_oblivious_sb(b));
+}
+
+TEST(PramObliviousSB, MatchesReferenceOnWriteConflicts) {
+  pram::WriteConflictProgram a(8, 12), b(8, 12);
+  EXPECT_EQ(pram::run_reference(a), pram::run_oblivious_sb(b));
+}
+
+TEST(PramObliviousSB, MatchesReferenceOnPointerJumping) {
+  auto succ = random_list_succ(32, 7);
+  pram::PointerJumpProgram a(succ), b(succ);
+  auto ref = pram::run_reference(a);
+  auto obl = pram::run_oblivious_sb(b);
+  EXPECT_EQ(ref, obl);
+  // Sanity: ranks are a permutation of 0..n-1.
+  std::vector<uint64_t> ranks(ref.begin() + 32, ref.end());
+  std::sort(ranks.begin(), ranks.end());
+  for (size_t i = 0; i < 32; ++i) EXPECT_EQ(ranks[i], i);
+}
+
+TEST(PramObliviousSB, WorksWithFullObliviousSorter) {
+  auto vals = random_values(16, 9);
+  pram::MaxReduceProgram a(vals), b(vals);
+  core::OsortSorter sorter;
+  EXPECT_EQ(pram::run_reference(a), pram::run_oblivious_sb(b, sorter));
+}
+
+TEST(PramObliviousSB, TraceIndependentOfDataAndAddresses) {
+  // The per-step pattern must be a fixed function of (p, s): two programs
+  // with identical shapes but different values AND different addresses
+  // must produce identical traces.
+  auto digest_of = [](uint64_t seed) {
+    sim::Session s = sim::Session::analytic().with_trace();
+    sim::ScopedSession guard(s);
+    auto succ = random_list_succ(16, seed);
+    pram::PointerJumpProgram prog(succ);
+    (void)pram::run_oblivious_sb(prog);
+    return s.log()->digest();
+  };
+  EXPECT_EQ(digest_of(1), digest_of(2));
+  EXPECT_EQ(digest_of(2), digest_of(99));
+}
+
+TEST(PramObliviousLS, MatchesReferenceOnMaxReduce) {
+  auto vals = random_values(16, 11);
+  pram::MaxReduceProgram a(vals), b(vals);
+  EXPECT_EQ(pram::run_reference(a), pram::run_oblivious_ls(b));
+}
+
+TEST(PramObliviousLS, MatchesReferenceOnWriteConflicts) {
+  pram::WriteConflictProgram a(4, 8), b(4, 8);
+  EXPECT_EQ(pram::run_reference(a), pram::run_oblivious_ls(b));
+}
+
+TEST(PramObliviousLS, MatchesReferenceOnPointerJumping) {
+  auto succ = random_list_succ(8, 13);
+  pram::PointerJumpProgram a(succ), b(succ);
+  EXPECT_EQ(pram::run_reference(a), pram::run_oblivious_ls(b));
+}
+
+}  // namespace
+}  // namespace dopar

@@ -1,0 +1,240 @@
+// Unit tests: scans, aggregation, propagation, compaction.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "obl/aggregate.hpp"
+#include "obl/compact.hpp"
+#include "obl/propagate.hpp"
+#include "obl/scan.hpp"
+#include "sim/session.hpp"
+#include "testutil.hpp"
+#include "util/rng.hpp"
+
+namespace dopar {
+namespace {
+
+using obl::Elem;
+
+struct AddU64 {
+  uint64_t operator()(uint64_t a, uint64_t b) const { return a + b; }
+};
+
+TEST(Scan, InclusivePrefixMatchesSerial) {
+  for (size_t n : {size_t{1}, size_t{2}, size_t{7}, size_t{64}, size_t{1000}}) {
+    util::Rng rng(n);
+    vec<uint64_t> v(n);
+    std::vector<uint64_t> expect(n);
+    uint64_t run = 0;
+    for (size_t i = 0; i < n; ++i) {
+      v.underlying()[i] = rng.below(1000);
+      run += v.underlying()[i];
+      expect[i] = run;
+    }
+    obl::scan_inclusive(v.s(), AddU64{});
+    EXPECT_EQ(v.underlying(), expect) << n;
+  }
+}
+
+TEST(Scan, InclusiveSuffixMatchesSerial) {
+  for (size_t n : {size_t{1}, size_t{5}, size_t{128}, size_t{999}}) {
+    util::Rng rng(n * 3);
+    vec<uint64_t> v(n);
+    std::vector<uint64_t> expect(n);
+    for (size_t i = 0; i < n; ++i) v.underlying()[i] = rng.below(1000);
+    uint64_t run = 0;
+    for (size_t i = n; i-- > 0;) {
+      run += v.underlying()[i];
+      expect[i] = run;
+    }
+    obl::scan_inclusive_reverse(v.s(), AddU64{});
+    EXPECT_EQ(v.underlying(), expect) << n;
+  }
+}
+
+TEST(Scan, NonCommutativeCombineKeepsArrayOrder) {
+  // Combine = string-like concatenation encoded as (first, last) pairs:
+  // comb((a,b),(c,d)) = (a,d). Prefix scan must yield (v[0], v[i]).
+  struct Pair {
+    uint64_t first, last;
+  };
+  struct Concat {
+    Pair operator()(const Pair& x, const Pair& y) const {
+      return Pair{x.first, y.last};
+    }
+  };
+  constexpr size_t n = 100;
+  vec<Pair> v(n);
+  for (size_t i = 0; i < n; ++i) v.underlying()[i] = Pair{i, i};
+  obl::scan_inclusive(v.s(), Concat{});
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(v.underlying()[i].first, 0u);
+    EXPECT_EQ(v.underlying()[i].last, i);
+  }
+}
+
+TEST(Scan, PrefixSumExclusiveReturnsTotal) {
+  vec<Elem> v(8);
+  for (size_t i = 0; i < 8; ++i) v.underlying()[i].payload = i + 1;
+  vec<uint64_t> out(8);
+  const uint64_t total = obl::prefix_sum_exclusive(
+      v.s(), out.s(), [](const Elem& e) { return e.payload; });
+  EXPECT_EQ(total, 36u);
+  EXPECT_EQ(out.underlying()[0], 0u);
+  EXPECT_EQ(out.underlying()[7], 28u);
+}
+
+TEST(Scan, SpanIsLogarithmic) {
+  auto span_of = [](size_t n) {
+    sim::Session s = sim::Session::analytic();
+    sim::ScopedSession guard(s);
+    vec<uint64_t> v(n, 1);
+    obl::scan_inclusive(v.s(), AddU64{});
+    return s.cost().span;
+  };
+  // span(n) ~ c log n: quadrupling n should add roughly a constant.
+  const uint64_t s1 = span_of(1 << 10);
+  const uint64_t s2 = span_of(1 << 12);
+  EXPECT_LT(s2, s1 + s1 / 2);
+}
+
+std::vector<Elem> grouped_input() {
+  // Groups: key 3 x 4 elems, key 7 x 1, key 9 x 3. payload = value.
+  std::vector<Elem> v;
+  auto push = [&](uint64_t key, uint64_t payload) {
+    Elem e;
+    e.key = key;
+    e.payload = payload;
+    e.aux = 100 + v.size();
+    v.push_back(e);
+  };
+  push(3, 1);
+  push(3, 2);
+  push(3, 3);
+  push(3, 4);
+  push(7, 50);
+  push(9, 10);
+  push(9, 20);
+  push(9, 30);
+  return v;
+}
+
+TEST(Aggregate, InclusiveSuffixSumsWithinGroups) {
+  vec<Elem> v(grouped_input());
+  obl::aggregate_suffix(v.s(), AddU64{});
+  const auto& r = v.underlying();
+  EXPECT_EQ(r[0].payload, 10u);  // 1+2+3+4
+  EXPECT_EQ(r[1].payload, 9u);
+  EXPECT_EQ(r[3].payload, 4u);
+  EXPECT_EQ(r[4].payload, 50u);
+  EXPECT_EQ(r[5].payload, 60u);
+  EXPECT_EQ(r[7].payload, 30u);
+}
+
+TEST(Aggregate, ExclusiveSuffix) {
+  vec<Elem> v(grouped_input());
+  obl::aggregate_suffix_exclusive(v.s(), AddU64{}, /*empty=*/0);
+  const auto& r = v.underlying();
+  EXPECT_EQ(r[0].payload, 9u);  // 2+3+4
+  EXPECT_EQ(r[3].payload, 0u);  // last of group
+  EXPECT_EQ(r[4].payload, 0u);  // singleton group
+  EXPECT_EQ(r[5].payload, 50u);
+  EXPECT_EQ(r[7].payload, 0u);
+}
+
+TEST(Aggregate, MaxOperator) {
+  struct MaxU64 {
+    uint64_t operator()(uint64_t a, uint64_t b) const {
+      return a > b ? a : b;
+    }
+  };
+  vec<Elem> v(grouped_input());
+  obl::aggregate_suffix(v.s(), MaxU64{});
+  EXPECT_EQ(v.underlying()[0].payload, 4u);
+  EXPECT_EQ(v.underlying()[5].payload, 30u);
+}
+
+TEST(Propagate, LeftmostValueAndAuxReachWholeGroup) {
+  vec<Elem> v(grouped_input());
+  obl::propagate_leftmost(v.s());
+  const auto& r = v.underlying();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(r[i].payload, 1u);
+    EXPECT_EQ(r[i].aux, 100u);
+  }
+  EXPECT_EQ(r[4].payload, 50u);
+  for (int i = 5; i < 8; ++i) {
+    EXPECT_EQ(r[i].payload, 10u);
+    EXPECT_EQ(r[i].aux, 105u);
+  }
+}
+
+TEST(Propagate, TraceIndependentOfGroupStructure) {
+  auto digest_of = [](uint64_t key_bound) {
+    sim::Session s = sim::Session::analytic().with_trace();
+    sim::ScopedSession guard(s);
+    auto data = test::random_elems(128, 9, key_bound);
+    std::sort(data.begin(), data.end(),
+              [](const Elem& a, const Elem& b) { return a.key < b.key; });
+    vec<Elem> v(data);
+    obl::propagate_leftmost(v.s());
+    return s.log()->digest();
+  };
+  // One big group vs many groups: the trace must not change.
+  EXPECT_EQ(digest_of(1), digest_of(64));
+}
+
+TEST(Compact, ObliviousMovesFillersBackStably) {
+  constexpr size_t n = 64;
+  vec<Elem> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v.underlying()[i].key = i;
+    v.underlying()[i].payload = i;
+    if (i % 3 == 0) v.underlying()[i].flags = Elem::kFiller;
+  }
+  obl::compact_oblivious(v.s());
+  size_t live = 0;
+  for (size_t i = 0; i < n; ++i) live += !v.underlying()[i].is_filler();
+  // Live prefix in original order, fillers suffix.
+  uint64_t prev = 0;
+  for (size_t i = 0; i < live; ++i) {
+    EXPECT_FALSE(v.underlying()[i].is_filler());
+    EXPECT_GE(v.underlying()[i].payload, prev);
+    prev = v.underlying()[i].payload;
+  }
+  for (size_t i = live; i < n; ++i) EXPECT_TRUE(v.underlying()[i].is_filler());
+}
+
+TEST(Compact, RevealReturnsLiveCountAndOrder) {
+  constexpr size_t n = 100;
+  vec<Elem> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v.underlying()[i].payload = i;
+    if (i % 4 != 1) v.underlying()[i].flags = Elem::kFiller;
+  }
+  const size_t live = obl::compact_reveal(v.s());
+  EXPECT_EQ(live, 25u);
+  for (size_t i = 0; i < live; ++i) {
+    EXPECT_EQ(v.underlying()[i].payload, 4 * i + 1);
+  }
+}
+
+TEST(Compact, ObliviousTraceIndependentOfFillerPositions) {
+  auto digest_of = [](int stride) {
+    sim::Session s = sim::Session::analytic().with_trace();
+    sim::ScopedSession guard(s);
+    vec<Elem> v(128);
+    for (size_t i = 0; i < 128; ++i) {
+      v.underlying()[i].key = i;
+      if (int(i) % stride == 0) v.underlying()[i].flags = Elem::kFiller;
+    }
+    obl::compact_oblivious(v.s());
+    return s.log()->digest();
+  };
+  EXPECT_EQ(digest_of(2), digest_of(5));
+}
+
+}  // namespace
+}  // namespace dopar

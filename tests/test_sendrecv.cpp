@@ -1,0 +1,125 @@
+// Unit tests: oblivious send-receive (routing), paper Sections 4/F.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obl/sendrecv.hpp"
+#include "sim/session.hpp"
+#include "testutil.hpp"
+#include "util/rng.hpp"
+
+namespace dopar {
+namespace {
+
+using obl::Elem;
+
+Elem src(uint64_t key, uint64_t value, uint64_t value2 = 0) {
+  Elem e;
+  e.key = key;
+  e.payload = value;
+  e.aux = value2;
+  return e;
+}
+Elem dst(uint64_t key) {
+  Elem e;
+  e.key = key;
+  return e;
+}
+
+TEST(SendReceive, EveryReceiverGetsItsValue) {
+  std::vector<Elem> sources{src(1, 100), src(5, 500), src(9, 900)};
+  std::vector<Elem> dests{dst(5), dst(1), dst(9), dst(5)};
+  vec<Elem> sv(sources), dv(dests), rv(dests.size());
+  obl::send_receive(sv.s(), dv.s(), rv.s());
+  const auto& r = rv.underlying();
+  EXPECT_EQ(r[0].payload, 500u);
+  EXPECT_EQ(r[1].payload, 100u);
+  EXPECT_EQ(r[2].payload, 900u);
+  EXPECT_EQ(r[3].payload, 500u);
+  for (const Elem& e : r) EXPECT_FALSE(e.flags & Elem::kNotFound);
+}
+
+TEST(SendReceive, MissingKeyYieldsNotFound) {
+  std::vector<Elem> sources{src(1, 100)};
+  std::vector<Elem> dests{dst(2), dst(1)};
+  vec<Elem> sv(sources), dv(dests), rv(dests.size());
+  obl::send_receive(sv.s(), dv.s(), rv.s());
+  EXPECT_TRUE(rv.underlying()[0].flags & Elem::kNotFound);
+  EXPECT_FALSE(rv.underlying()[1].flags & Elem::kNotFound);
+  EXPECT_EQ(rv.underlying()[1].payload, 100u);
+}
+
+TEST(SendReceive, AuxValueTravelsToo) {
+  std::vector<Elem> sources{src(4, 44, 4444)};
+  std::vector<Elem> dests{dst(4)};
+  vec<Elem> sv(sources), dv(dests), rv(1);
+  obl::send_receive(sv.s(), dv.s(), rv.s());
+  EXPECT_EQ(rv.underlying()[0].payload, 44u);
+  EXPECT_EQ(rv.underlying()[0].aux, 4444u);
+}
+
+TEST(SendReceive, OneSenderManyReceivers) {
+  std::vector<Elem> sources{src(7, 777)};
+  std::vector<Elem> dests(100, dst(7));
+  vec<Elem> sv(sources), dv(dests), rv(dests.size());
+  obl::send_receive(sv.s(), dv.s(), rv.s());
+  for (const Elem& e : rv.underlying()) EXPECT_EQ(e.payload, 777u);
+}
+
+TEST(SendReceive, LargeRandomInstanceAgainstReferenceMap) {
+  util::Rng rng(77);
+  constexpr size_t ns = 300, nd = 500;
+  std::vector<Elem> sources;
+  std::vector<uint64_t> vals(ns * 2, 0);
+  for (size_t i = 0; i < ns; ++i) {
+    // distinct keys 2i
+    sources.push_back(src(2 * i, 10'000 + i));
+    vals[2 * i] = 10'000 + i;
+  }
+  std::vector<Elem> dests;
+  for (size_t i = 0; i < nd; ++i) dests.push_back(dst(rng.below(2 * ns)));
+  vec<Elem> sv(sources), dv(dests), rv(nd);
+  obl::send_receive(sv.s(), dv.s(), rv.s());
+  for (size_t i = 0; i < nd; ++i) {
+    const uint64_t key = dests[i].key;
+    const Elem& r = rv.underlying()[i];
+    if (key % 2 == 0) {
+      EXPECT_FALSE(r.flags & Elem::kNotFound);
+      EXPECT_EQ(r.payload, vals[key]);
+    } else {
+      EXPECT_TRUE(r.flags & Elem::kNotFound);
+    }
+  }
+}
+
+TEST(SendReceive, TraceIndependentOfKeysAndMatches) {
+  auto digest_of = [](uint64_t seed) {
+    sim::Session s = sim::Session::analytic().with_trace();
+    sim::ScopedSession guard(s);
+    util::Rng rng(seed);
+    std::vector<Elem> sources, dests;
+    for (size_t i = 0; i < 64; ++i) sources.push_back(src(i * 3 + seed, i));
+    for (size_t i = 0; i < 64; ++i) dests.push_back(dst(rng.below(400)));
+    vec<Elem> sv(sources), dv(dests), rv(dests.size());
+    obl::send_receive(sv.s(), dv.s(), rv.s());
+    return s.log()->digest();
+  };
+  EXPECT_EQ(digest_of(1), digest_of(2));
+  EXPECT_EQ(digest_of(2), digest_of(42));
+}
+
+TEST(SendReceive, EmptySidesAreHandled) {
+  vec<Elem> sv(std::vector<Elem>{src(1, 1)});
+  vec<Elem> dv(std::vector<Elem>{});
+  vec<Elem> rv(size_t{0});
+  obl::send_receive(sv.s(), dv.s(), rv.s());  // no receivers: no-op
+  std::vector<Elem> dests{dst(3)};
+  vec<Elem> dv2(dests), rv2(1);
+  vec<Elem> sv2(std::vector<Elem>{});
+  obl::send_receive(sv2.s(), dv2.s(), rv2.s());  // no sources: all misses
+  EXPECT_TRUE(rv2.underlying()[0].flags & Elem::kNotFound);
+}
+
+}  // namespace
+}  // namespace dopar

@@ -1,0 +1,117 @@
+// Unit tests: sim/ — cache simulator, measurement session, trace recorder.
+
+#include <gtest/gtest.h>
+
+#include "sim/cachesim.hpp"
+#include "sim/session.hpp"
+#include "sim/tracked.hpp"
+
+namespace dopar {
+namespace {
+
+TEST(CacheSim, SequentialScanCostsNOverB) {
+  sim::CacheSim cs(/*M=*/1024, /*B=*/64);
+  for (uint64_t addr = 0; addr < 64 * 100; addr += 8) cs.access(addr, 8);
+  EXPECT_EQ(cs.misses(), 100u);  // one miss per line
+}
+
+TEST(CacheSim, WorkingSetSmallerThanMHitsAfterWarmup) {
+  sim::CacheSim cs(/*M=*/1024, /*B=*/64);  // 16 lines
+  for (int rep = 0; rep < 10; ++rep) {
+    for (uint64_t line = 0; line < 8; ++line) cs.access(line * 64, 8);
+  }
+  EXPECT_EQ(cs.misses(), 8u);
+}
+
+TEST(CacheSim, LruEvictsLeastRecentlyUsed) {
+  sim::CacheSim cs(/*M=*/128, /*B=*/64);  // 2 lines
+  cs.access(0, 8);    // miss: {0}
+  cs.access(64, 8);   // miss: {0,1}
+  cs.access(0, 8);    // hit
+  cs.access(128, 8);  // miss, evicts line 1
+  cs.access(0, 8);    // hit (still resident)
+  cs.access(64, 8);   // miss (was evicted)
+  EXPECT_EQ(cs.misses(), 4u);
+}
+
+TEST(CacheSim, StraddlingAccessTouchesTwoLines) {
+  sim::CacheSim cs(1024, 64);
+  cs.access(60, 8);  // bytes 60..67 -> lines 0 and 1
+  EXPECT_EQ(cs.misses(), 2u);
+}
+
+TEST(Session, TicksAccumulateWorkAndSpan) {
+  sim::Session s = sim::Session::analytic();
+  {
+    sim::ScopedSession guard(s);
+    sim::tick(5);
+    sim::tick(3);
+  }
+  EXPECT_EQ(s.cost().work, 8u);
+  EXPECT_EQ(s.cost().span, 8u);
+}
+
+TEST(Session, TrackedVectorFeedsCacheSim) {
+  sim::Session s = sim::Session::analytic().with_cache(1 << 20, 64);
+  {
+    sim::ScopedSession guard(s);
+    vec<uint64_t> v(1024);
+    for (size_t i = 0; i < v.size(); ++i) v[i] = i;
+  }
+  // 1024 * 8B sequential = 128 lines.
+  EXPECT_EQ(s.cache()->misses(), 128u);
+}
+
+TEST(Session, GuardLinesSeparateBuffers) {
+  sim::Session s = sim::Session::analytic().with_cache(1 << 20, 64);
+  {
+    sim::ScopedSession guard(s);
+    vec<uint8_t> a(1);  // much smaller than a line
+    vec<uint8_t> b(1);
+    a[0] = 1;
+    b[0] = 2;
+  }
+  EXPECT_EQ(s.cache()->misses(), 2u);  // distinct lines despite tiny sizes
+}
+
+TEST(Session, TraceRecordsBufferRelativeAccesses) {
+  sim::Session s = sim::Session::analytic().with_trace();
+  {
+    sim::ScopedSession guard(s);
+    vec<uint32_t> v(4);
+    v[2] = 7;
+    v[0] = 1;
+  }
+  const auto& tr = s.log()->trace();
+  ASSERT_EQ(tr.size(), 2u);
+  EXPECT_EQ(tr[0].byte_off, 8u);
+  EXPECT_EQ(tr[1].byte_off, 0u);
+  EXPECT_EQ(tr[0].buf, tr[1].buf);
+}
+
+TEST(Session, DigestDiscriminatesTraces) {
+  auto run = [](size_t idx) {
+    sim::Session s = sim::Session::analytic().with_trace();
+    sim::ScopedSession guard(s);
+    vec<uint32_t> v(8);
+    v[idx] = 1;
+    return s.log()->digest();
+  };
+  EXPECT_EQ(run(3), run(3));
+  EXPECT_NE(run(3), run(4));
+}
+
+TEST(Session, SlicesInheritTracking) {
+  sim::Session s = sim::Session::analytic().with_trace();
+  {
+    sim::ScopedSession guard(s);
+    vec<uint64_t> v(16);
+    slice<uint64_t> half = v.s().sub(8, 8);
+    half[0] = 1;
+  }
+  ASSERT_EQ(s.log()->size(), 1u);
+  EXPECT_EQ(s.log()->trace()[0].byte_off, 64u);
+}
+
+}  // namespace
+}  // namespace dopar

@@ -1,0 +1,48 @@
+#pragma once
+// Shared helpers for the dopar test suites.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "obl/elem.hpp"
+#include "sim/tracked.hpp"
+#include "util/rng.hpp"
+
+namespace dopar::test {
+
+/// n random elements: key uniform, payload = key, aux = index.
+inline std::vector<obl::Elem> random_elems(size_t n, uint64_t seed,
+                                           uint64_t key_bound = 0) {
+  util::Rng rng(seed);
+  std::vector<obl::Elem> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i].key = key_bound ? rng.below(key_bound) : (rng() >> 1);
+    v[i].payload = v[i].key;
+    v[i].aux = i;
+  }
+  return v;
+}
+
+inline bool sorted_by_key(const std::vector<obl::Elem>& v) {
+  return std::is_sorted(v.begin(), v.end(),
+                        [](const obl::Elem& a, const obl::Elem& b) {
+                          return a.key < b.key;
+                        });
+}
+
+/// Multiset-of-keys equality.
+inline bool same_keys(std::vector<obl::Elem> a, std::vector<obl::Elem> b) {
+  auto by_key = [](const obl::Elem& x, const obl::Elem& y) {
+    return x.key < y.key;
+  };
+  std::sort(a.begin(), a.end(), by_key);
+  std::sort(b.begin(), b.end(), by_key);
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].key != b[i].key) return false;
+  }
+  return true;
+}
+
+}  // namespace dopar::test
