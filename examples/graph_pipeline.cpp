@@ -1,5 +1,5 @@
 // Oblivious graph analytics: connected components and minimum spanning
-// forest over a private graph (paper Section 5.3).
+// forest over a private graph (paper Section 5.3), served by one Runtime.
 //
 // The cloud learns the number of vertices and edges but not which vertices
 // are connected: all per-round operations are fixed-pattern oblivious
@@ -9,10 +9,8 @@
 #include <set>
 #include <vector>
 
-#include "apps/cc.hpp"
-#include "apps/msf.hpp"
-#include "insecure/graph.hpp"
-#include "util/rng.hpp"
+#include "dopar.hpp"
+#include "insecure/graph.hpp"  // plaintext oracles for the check
 
 int main() {
   using namespace dopar;
@@ -20,10 +18,9 @@ int main() {
 
   // A private social graph: two communities plus weak random bridges.
   util::Rng rng(11);
-  std::vector<apps::GEdge> edges;
+  std::vector<GEdge> edges;
   auto add = [&](uint32_t u, uint32_t v) {
-    edges.push_back(
-        apps::GEdge{u, v, static_cast<uint64_t>(edges.size() * 2 + 1)});
+    edges.push_back(GEdge{u, v, static_cast<uint64_t>(edges.size() * 2 + 1)});
   };
   for (uint32_t v = 1; v < n / 2; ++v) {
     add(static_cast<uint32_t>(rng.below(v)), v);  // community A tree + extras
@@ -37,14 +34,16 @@ int main() {
                                                         : u);
   }
 
-  auto labels = apps::connected_components_oblivious(n, edges);
+  auto rt = Runtime::builder().threads(4).seed(13).build();
+
+  auto labels = rt.connected_components(n, edges);
   std::set<uint64_t> comps(labels.begin(), labels.end());
   std::printf("connected components (oblivious): %zu\n", comps.size());
   auto oracle = insecure::cc_oracle(n, edges);
   std::printf("matches serial union-find oracle: %s\n",
               labels == oracle ? "yes" : "NO");
 
-  auto flags = apps::msf_oblivious(n, edges);
+  auto flags = rt.msf(n, edges);
   uint64_t total = 0;
   size_t count = 0;
   for (size_t e = 0; e < edges.size(); ++e) {

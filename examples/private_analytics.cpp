@@ -3,15 +3,14 @@
 // A client outsources encrypted patient records to an untrusted cloud; the
 // enclave computes a GROUP-BY aggregation (visits and total cost per
 // diagnosis code) without the access pattern revealing which records share
-// a diagnosis. Pipeline: oblivious sort by group key, then oblivious
-// aggregation (segmented suffix scan) — both fixed-pattern.
+// a diagnosis. Pipeline, all through one Runtime: oblivious sort by group
+// key, then oblivious aggregation (segmented suffix scan) — both
+// fixed-pattern.
 
 #include <cstdio>
 #include <vector>
 
-#include "core/osort.hpp"
-#include "obl/aggregate.hpp"
-#include "util/rng.hpp"
+#include "dopar.hpp"
 
 int main() {
   using namespace dopar;
@@ -19,7 +18,7 @@ int main() {
   constexpr size_t kCodes = 16;
 
   util::Rng rng(7);
-  std::vector<obl::Elem> records(kRecords);
+  std::vector<Elem> records(kRecords);
   std::vector<uint64_t> true_count(kCodes, 0), true_cost(kCodes, 0);
   for (size_t i = 0; i < kRecords; ++i) {
     const uint64_t code = rng.below(kCodes);
@@ -32,13 +31,14 @@ int main() {
 
   // Enclave-side computation: everything below has a data-independent
   // access pattern.
-  vec<obl::Elem> v(records);
-  core::osort(v.s(), /*seed=*/99);
+  auto rt = Runtime::builder().threads(2).seed(99).build();
+  vec<Elem> v(records);
+  rt.sort(v.s());
 
   struct Add {
     uint64_t operator()(uint64_t a, uint64_t b) const { return a + b; }
   };
-  obl::aggregate_suffix(v.s(), Add{});
+  rt.aggregate_suffix(v.s(), Add{});
   // After aggregation, the FIRST record of each group holds the group
   // total (suffix fold from the leftmost member covers the whole group).
 

@@ -1,72 +1,92 @@
-// Quickstart: obliviously sort encrypted-at-rest records.
+// Quickstart: the dopar::Runtime façade in one file.
 //
-//   $ ./examples/quickstart
+//   $ ./example_quickstart
 //
-// Demonstrates the one-call public API (core::osort), the work/span/cache
-// measurement harness, and the obliviousness check (identical traces for
-// different inputs).
+// One include, one object. A Runtime owns its thread pool, its
+// measurement session and its randomness; the demo shows (1) sorting
+// arbitrary application records obliviously, (2) reading the model costs
+// (work, span, ideal-cache misses), and (3) the core privacy property —
+// identical permutation-phase address traces for completely different
+// inputs.
 
 #include <cstdio>
+#include <span>
+#include <string>
 #include <vector>
 
-#include "core/osort.hpp"
-#include "sim/session.hpp"
-#include "util/rng.hpp"
+#include "dopar.hpp"
+
+// An application record: no filler bits, no 32-byte layout, no default
+// key packing — sort_records adapts it onto the oblivious pipeline.
+struct Visit {
+  uint64_t patient_id = 0;
+  uint64_t cost = 0;
+  std::string clinic;
+};
 
 int main() {
   using namespace dopar;
   constexpr size_t n = 10'000;
 
-  // Records: key = sensitive attribute, payload = record id.
   util::Rng rng(2026);
-  std::vector<obl::Elem> records(n);
+  std::vector<Visit> visits(n);
   for (size_t i = 0; i < n; ++i) {
-    records[i].key = rng.below(1'000'000);
-    records[i].payload = i;
+    visits[i].patient_id = rng.below(1'000'000);
+    visits[i].cost = 10 + rng.below(990);
+    visits[i].clinic = "clinic-" + std::to_string(rng.below(8));
   }
 
-  // 1. Sort natively (this is the call a real application makes).
+  // 1. Sort natively, in parallel — the call a real application makes.
   {
-    vec<obl::Elem> v(records);
-    core::osort(v.s(), /*seed=*/42);  // practical variant by default
+    auto rt = Runtime::builder().threads(4).seed(42).build();
+    rt.sort_records(std::span<Visit>(visits),
+                    [](const Visit& v) { return v.patient_id; });
     bool ok = true;
     for (size_t i = 1; i < n; ++i) {
-      ok &= v.underlying()[i - 1].key <= v.underlying()[i].key;
+      ok &= visits[i - 1].patient_id <= visits[i].patient_id;
     }
-    std::printf("sorted %zu records obliviously: %s\n", n,
-                ok ? "OK" : "FAILED");
+    std::printf("sorted %zu records obliviously on %u workers: %s\n", n,
+                rt.threads(), ok ? "OK" : "FAILED");
+    if (!ok) return 1;
   }
 
-  // 2. Measure the model costs (work, span, ideal-cache misses).
+  // 2. Measure the model costs (work, span, ideal-cache misses) with an
+  // instrumented Runtime (serial analytic executor).
   {
-    sim::Session s = sim::Session::analytic().with_cache(256 * 1024, 64);
-    {
-      sim::ScopedSession guard(s);
-      vec<obl::Elem> v(records);
-      core::osort(v.s(), 42);
+    auto rt = Runtime::builder().seed(42).cache(256 * 1024, 64).build();
+    std::vector<Elem> records(n);
+    for (size_t i = 0; i < n; ++i) {
+      records[i].key = rng.below(1'000'000);
+      records[i].payload = i;
     }
+    auto v = rt.make_vec<Elem>(std::move(records));
+    rt.sort(v.s());
     std::printf("work=%llu span=%llu cache-misses=%llu\n",
-                (unsigned long long)s.cost().work,
-                (unsigned long long)s.cost().span,
-                (unsigned long long)s.cache()->misses());
+                (unsigned long long)rt.cost().work,
+                (unsigned long long)rt.cost().span,
+                (unsigned long long)rt.cache_misses());
   }
 
-  // 3. Check the core privacy property: the permutation phase's address
-  // trace is identical for completely different inputs.
+  // 3. The core privacy property: the permutation's address trace is
+  // identical for completely different inputs (and deterministic per
+  // seed: an identically built Runtime replays it bit-for-bit).
+  uint64_t d1 = 0, d2 = 0;
   {
-    auto digest = [&](uint64_t data_seed) {
+    auto digest = [](uint64_t data_seed) {
+      auto rt = Runtime::builder().seed(7).trace().build();
       util::Rng r2(data_seed);
-      std::vector<obl::Elem> other(1024);
+      std::vector<Elem> other(1024);
       for (auto& e : other) e.key = r2();
-      sim::Session s = sim::Session::analytic().with_trace();
-      sim::ScopedSession guard(s);
-      vec<obl::Elem> in(other), out(1024);
-      core::orp(in.s(), out.s(), /*seed=*/7);
-      return s.log()->digest();
+      auto in = rt.make_vec<Elem>(std::move(other));
+      auto out = rt.make_vec<Elem>(size_t{1024});
+      rt.permute(in.s(), out.s());
+      return rt.trace_digest();
     };
+    d1 = digest(1);
+    d2 = digest(2);
     std::printf("ORP trace digests for two inputs: %016llx vs %016llx (%s)\n",
-                (unsigned long long)digest(1), (unsigned long long)digest(2),
-                digest(1) == digest(2) ? "identical" : "DIFFERENT");
+                (unsigned long long)d1, (unsigned long long)d2,
+                d1 == d2 ? "identical" : "DIFFERENT");
   }
-  return 0;
+  return d1 == d2 ? 0 : 1;
 }

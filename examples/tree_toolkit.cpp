@@ -1,13 +1,12 @@
 // Oblivious rooted-tree toolkit: Euler tour, list ranking, and the derived
 // tree functions (paper Sections 5.1–5.2) on a private hierarchy — think
-// an org chart whose shape must not leak to the host.
+// an org chart whose shape must not leak to the host. One Runtime serves
+// the whole toolkit and derives every internal seed itself.
 
 #include <cstdio>
 #include <vector>
 
-#include "apps/euler.hpp"
-#include "apps/listrank.hpp"
-#include "util/rng.hpp"
+#include "dopar.hpp"
 
 int main() {
   using namespace dopar;
@@ -15,12 +14,13 @@ int main() {
 
   // A random private hierarchy on n nodes (node 0 = CEO).
   util::Rng rng(3);
-  std::vector<apps::Edge> edges;
+  std::vector<Edge> edges;
   for (uint32_t v = 1; v < n; ++v) {
-    edges.push_back(apps::Edge{static_cast<uint32_t>(rng.below(v)), v});
+    edges.push_back(Edge{static_cast<uint32_t>(rng.below(v)), v});
   }
 
-  auto tf = apps::tree_functions_oblivious(edges, /*root=*/0, /*seed=*/5);
+  auto rt = Runtime::builder().threads(2).seed(5).build();
+  auto tf = rt.tree_functions(edges, /*root=*/0);
 
   std::printf("node parent depth preorder subtree\n");
   for (size_t v = 0; v < 10; ++v) {
@@ -46,8 +46,8 @@ int main() {
   std::printf("average depth: %.2f\n", double(depth_sum) / double(n - 1));
 
   // Standalone oblivious list ranking on the Euler tour itself.
-  auto tour = apps::euler_tour_oblivious(edges, 0, /*seed=*/9);
-  auto rank = apps::list_rank_oblivious(tour, /*seed=*/13);
+  auto tour = rt.euler_tour(edges, 0);
+  auto rank = rt.list_rank(tour);
   uint64_t zeros = 0;
   for (uint64_t r : rank) zeros += r == 0;
   std::printf("Euler tour has %zu directed edges; exactly one tour tail: "

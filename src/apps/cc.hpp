@@ -16,6 +16,7 @@
 #include "forkjoin/api.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
+#include "util/compat.hpp"
 
 namespace dopar::apps {
 
@@ -24,9 +25,12 @@ struct GEdge {
   uint64_t w = 0;  ///< weight (MSF only)
 };
 
+namespace detail {
+
+/// Engine behind Runtime::connected_components.
 /// Component label per vertex (the minimum vertex id in the component).
 template <class Sorter = obl::BitonicSorter>
-std::vector<uint64_t> connected_components_oblivious(
+std::vector<uint64_t> connected_components(
     size_t n, const std::vector<GEdge>& edges, const Sorter& sorter = {}) {
   const size_t m = edges.size();
   vec<uint64_t> Pv(n);
@@ -83,6 +87,17 @@ std::vector<uint64_t> connected_components_oblivious(
   std::vector<uint64_t> out(n);
   for (size_t i = 0; i < n; ++i) out[i] = P[i];
   return out;
+}
+
+}  // namespace detail
+
+/// Deprecated shim kept for one PR; use
+/// dopar::Runtime::connected_components.
+template <class Sorter = obl::BitonicSorter>
+DOPAR_DEPRECATED("use dopar::Runtime::connected_components")
+std::vector<uint64_t> connected_components_oblivious(
+    size_t n, const std::vector<GEdge>& edges, const Sorter& sorter = {}) {
+  return detail::connected_components(n, edges, sorter);
 }
 
 }  // namespace dopar::apps

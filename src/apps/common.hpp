@@ -22,6 +22,9 @@ namespace dopar::apps {
 
 /// results[i] = table[addrs[i]]; table is a plain value array indexed by
 /// address. Fixed access pattern: one send-receive on (|table|, |addrs|).
+/// Out-of-range addresses (notably the apps' ~0 "no node" sentinel) are
+/// legal and read as 0: they are branchlessly clamped to the maximum
+/// send-receive key, which no table cell announces, so the lookup misses.
 template <class Sorter = obl::BitonicSorter>
 void gather(const slice<uint64_t>& table, const slice<uint64_t>& addrs,
             const slice<uint64_t>& out, const Sorter& sorter = {}) {
@@ -41,10 +44,12 @@ void gather(const slice<uint64_t>& table, const slice<uint64_t>& addrs,
   fj::for_range(0, q, fj::kDefaultGrain, [&](size_t i) {
     sim::tick(1);
     Elem e;
-    e.key = addrs[i];
+    const uint64_t a = addrs[i];
+    constexpr uint64_t kMaxKey = (uint64_t{1} << 63) - 1;
+    e.key = obl::oselect<uint64_t>((a >> 63) != 0, kMaxKey, a);
     dv[i] = e;
   });
-  obl::send_receive(sv, dv, rv, sorter);
+  obl::detail::send_receive(sv, dv, rv, sorter);
   fj::for_range(0, q, fj::kDefaultGrain, [&](size_t i) {
     sim::tick(1);
     out[i] = rv[i].payload;
@@ -115,7 +120,7 @@ void scatter_min(const slice<uint64_t>& table, const slice<uint64_t>& addrs,
     e.key = i;
     cv[i] = e;
   });
-  obl::send_receive(pv, cv, uv, sorter);
+  obl::detail::send_receive(pv, cv, uv, sorter);
   fj::for_range(0, s, fj::kDefaultGrain, [&](size_t i) {
     sim::tick(1);
     uint64_t v = table[i];

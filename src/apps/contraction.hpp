@@ -27,6 +27,7 @@
 #include "forkjoin/api.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
+#include "util/compat.hpp"
 
 namespace dopar::apps {
 
@@ -54,9 +55,12 @@ struct ExprTree {
   bool is_leaf(size_t i) const { return c0[i] == kNoNode; }
 };
 
-/// Evaluate the tree by oblivious rake contraction.
+namespace detail {
+
+/// Engine behind Runtime::tree_eval: evaluate the tree by oblivious rake
+/// contraction.
 template <class Sorter = obl::BitonicSorter>
-uint64_t tree_eval_oblivious(const ExprTree& t, const Sorter& sorter = {}) {
+uint64_t tree_eval(const ExprTree& t, const Sorter& sorter = {}) {
   const size_t n = t.size();
   assert(n >= 1);
 
@@ -242,6 +246,15 @@ uint64_t tree_eval_oblivious(const ExprTree& t, const Sorter& sorter = {}) {
     }
   }
   return answer;
+}
+
+}  // namespace detail
+
+/// Deprecated shim kept for one PR; use dopar::Runtime::tree_eval.
+template <class Sorter = obl::BitonicSorter>
+DOPAR_DEPRECATED("use dopar::Runtime::tree_eval")
+uint64_t tree_eval_oblivious(const ExprTree& t, const Sorter& sorter = {}) {
+  return detail::tree_eval(t, sorter);
 }
 
 /// Insecure recursive evaluation (oracle).

@@ -22,6 +22,7 @@
 #include "obl/propagate.hpp"
 #include "obl/sendrecv.hpp"
 #include "sim/tracked.hpp"
+#include "util/compat.hpp"
 
 namespace dopar::apps {
 
@@ -29,13 +30,16 @@ struct Edge {
   uint32_t u, v;
 };
 
+namespace detail {
+
+/// Engine behind Runtime::euler_tour.
 /// Euler-tour successor array over directed edge ids. Directed edge e for
 /// e < m is (edges[e].u -> edges[e].v); e >= m is the reversal of e - m.
 /// The tour is rooted at `root`: the tour's last edge points to itself.
 template <class Sorter = obl::BitonicSorter>
-std::vector<uint64_t> euler_tour_oblivious(const std::vector<Edge>& edges,
-                                           uint32_t root, uint64_t seed,
-                                           const Sorter& sorter = {}) {
+std::vector<uint64_t> euler_tour(const std::vector<Edge>& edges,
+                                 uint32_t root, uint64_t seed,
+                                 const Sorter& sorter = {}) {
   using obl::Elem;
   const size_t m = edges.size();
   const size_t dm = 2 * m;
@@ -54,7 +58,8 @@ std::vector<uint64_t> euler_tour_oblivious(const std::vector<Edge>& edges,
     rec.payload = e;  // directed edge id
     de[e] = rec;
   });
-  core::osort(de, util::hash_rand(seed, 1), core::Variant::Practical);
+  core::detail::osort(de, util::hash_rand(seed, 1),
+                      core::Variant::Practical);
 
   // Adjsucc: next edge in the (circular) adjacency list of the tail.
   // Propagate each group's first edge id to the whole group (for the
@@ -89,7 +94,7 @@ std::vector<uint64_t> euler_tour_oblivious(const std::vector<Edge>& edges,
     dv[p] = d;
     (void)root;
   });
-  obl::send_receive(sv, dv, rv, sorter);
+  obl::detail::send_receive(sv, dv, rv, sorter);
 
   // Find e0 = first edge of Adj(root): a one-receiver send-receive whose
   // sources are the adjacency-group heads (distinct tail keys).
@@ -113,7 +118,7 @@ std::vector<uint64_t> euler_tour_oblivious(const std::vector<Edge>& edges,
     Elem q;
     q.key = root;
     gd.s()[0] = q;
-    obl::send_receive(gs.s(), gd.s(), gr.s(), sorter);
+    obl::detail::send_receive(gs.s(), gd.s(), gr.s(), sorter);
     e0v.s()[0] = gr.s()[0].payload;
   }
   const uint64_t e0 = e0v.s()[0];
@@ -143,6 +148,8 @@ std::vector<uint64_t> euler_tour_oblivious(const std::vector<Edge>& edges,
   return tour;
 }
 
+}  // namespace detail
+
 /// Rooted-tree functions computed from the Euler tour + three oblivious
 /// list rankings.
 struct TreeFunctions {
@@ -152,20 +159,22 @@ struct TreeFunctions {
   std::vector<uint64_t> subtree;  ///< #vertices in the subtree (>= 1)
 };
 
+namespace detail {
+
+/// Engine behind Runtime::tree_functions.
 template <class Sorter = obl::BitonicSorter>
-TreeFunctions tree_functions_oblivious(const std::vector<Edge>& edges,
-                                       uint32_t root, uint64_t seed,
-                                       const Sorter& sorter = {}) {
+TreeFunctions tree_functions(const std::vector<Edge>& edges, uint32_t root,
+                             uint64_t seed, const Sorter& sorter = {}) {
   using obl::Elem;
   const size_t m = edges.size();
   const size_t dm = 2 * m;
   const size_t n = m + 1;
   std::vector<uint64_t> tour =
-      euler_tour_oblivious(edges, root, util::hash_rand(seed, 2), sorter);
+      euler_tour(edges, root, util::hash_rand(seed, 2), sorter);
 
   // Unit-weight ranks give tour positions.
   std::vector<uint64_t> unit =
-      list_rank_oblivious(tour, util::hash_rand(seed, 3), sorter);
+      list_rank(tour, util::hash_rand(seed, 3), sorter);
   std::vector<uint64_t> pos(dm);
   for (size_t e = 0; e < dm; ++e) pos[e] = (dm - 1) - unit[e];
 
@@ -178,11 +187,11 @@ TreeFunctions tree_functions_oblivious(const std::vector<Edge>& edges,
 
   // Weighted ranks for depth: suffix counts of down/up edges.
   std::vector<uint64_t> rank_down =
-      list_rank_oblivious(tour, down, util::hash_rand(seed, 4), sorter);
+      list_rank(tour, down, util::hash_rand(seed, 4), sorter);
   std::vector<uint64_t> up(dm);
   for (size_t e = 0; e < dm; ++e) up[e] = 1 - down[e];
   std::vector<uint64_t> rank_up =
-      list_rank_oblivious(tour, up, util::hash_rand(seed, 5), sorter);
+      list_rank(tour, up, util::hash_rand(seed, 5), sorter);
 
   TreeFunctions tf;
   tf.parent.assign(n, root);
@@ -209,6 +218,26 @@ TreeFunctions tree_functions_oblivious(const std::vector<Edge>& edges,
     tf.subtree[v] = (pos[re] - pos[e] + 1) / 2;
   }
   return tf;
+}
+
+}  // namespace detail
+
+/// Deprecated shims kept for one PR; use dopar::Runtime::euler_tour /
+/// Runtime::tree_functions.
+template <class Sorter = obl::BitonicSorter>
+DOPAR_DEPRECATED("use dopar::Runtime::euler_tour")
+std::vector<uint64_t> euler_tour_oblivious(const std::vector<Edge>& edges,
+                                           uint32_t root, uint64_t seed,
+                                           const Sorter& sorter = {}) {
+  return detail::euler_tour(edges, root, seed, sorter);
+}
+
+template <class Sorter = obl::BitonicSorter>
+DOPAR_DEPRECATED("use dopar::Runtime::tree_functions")
+TreeFunctions tree_functions_oblivious(const std::vector<Edge>& edges,
+                                       uint32_t root, uint64_t seed,
+                                       const Sorter& sorter = {}) {
+  return detail::tree_functions(edges, root, seed, sorter);
 }
 
 }  // namespace dopar::apps

@@ -23,14 +23,18 @@
 #include "obl/sendrecv.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
+#include "util/compat.hpp"
 
 namespace dopar::apps {
 
+namespace detail {
+
+/// Engine behind Runtime::list_rank.
 /// rank[i] = sum of weight[j] over the nodes strictly after i on the way
 /// to the tail (so the tail has rank 0 and, with unit weights, rank[i] is
 /// the distance to the tail).
 template <class Sorter = obl::BitonicSorter>
-std::vector<uint64_t> list_rank_oblivious(
+std::vector<uint64_t> list_rank(
     const std::vector<uint64_t>& succ, const std::vector<uint64_t>& weight,
     uint64_t seed, const Sorter& sorter = {}) {
   using obl::Elem;
@@ -54,7 +58,7 @@ std::vector<uint64_t> list_rank_oblivious(
 
   // 1. Random permutation (orp pads and picks parameters internally).
   vec<Elem> perm(n);
-  core::orp(nodes.s(), perm.s(), seed);
+  core::detail::orp(nodes.s(), perm.s(), seed);
   const slice<Elem> pv = perm.s();
 
   // 2. Each permuted entry learns its successor's permuted position:
@@ -72,7 +76,7 @@ std::vector<uint64_t> list_rank_oblivious(
     d.key = pv[i].payload;  // successor's original id
     dv[i] = d;
   });
-  obl::send_receive(sv, dv, rv, sorter);
+  obl::detail::send_receive(sv, dv, rv, sorter);
 
   // 3. Wyllie pointer jumping on the permuted layout (non-oblivious,
   // simulatable). Double-buffered rounds.
@@ -118,7 +122,7 @@ std::vector<uint64_t> list_rank_oblivious(
     d.key = i;
     ad[i] = d;
   });
-  obl::send_receive(as, ad, ar, sorter);
+  obl::detail::send_receive(as, ad, ar, sorter);
 
   std::vector<uint64_t> out(n);
   for (size_t i = 0; i < n; ++i) out[i] = ar[i].payload;
@@ -128,11 +132,29 @@ std::vector<uint64_t> list_rank_oblivious(
 /// Unit-weight convenience overload: rank = #nodes after i (distance to
 /// tail).
 template <class Sorter = obl::BitonicSorter>
+std::vector<uint64_t> list_rank(const std::vector<uint64_t>& succ,
+                                uint64_t seed, const Sorter& sorter = {}) {
+  return list_rank(succ, std::vector<uint64_t>(succ.size(), 1), seed,
+                   sorter);
+}
+
+}  // namespace detail
+
+/// Deprecated shims kept for one PR; use dopar::Runtime::list_rank.
+template <class Sorter = obl::BitonicSorter>
+DOPAR_DEPRECATED("use dopar::Runtime::list_rank")
+std::vector<uint64_t> list_rank_oblivious(
+    const std::vector<uint64_t>& succ, const std::vector<uint64_t>& weight,
+    uint64_t seed, const Sorter& sorter = {}) {
+  return detail::list_rank(succ, weight, seed, sorter);
+}
+
+template <class Sorter = obl::BitonicSorter>
+DOPAR_DEPRECATED("use dopar::Runtime::list_rank")
 std::vector<uint64_t> list_rank_oblivious(const std::vector<uint64_t>& succ,
                                           uint64_t seed,
                                           const Sorter& sorter = {}) {
-  return list_rank_oblivious(succ, std::vector<uint64_t>(succ.size(), 1),
-                             seed, sorter);
+  return detail::list_rank(succ, seed, sorter);
 }
 
 }  // namespace dopar::apps

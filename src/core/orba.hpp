@@ -31,6 +31,7 @@
 #include "obl/sorter.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
+#include "util/compat.hpp"
 #include "util/rng.hpp"
 #include "util/transpose.hpp"
 
@@ -122,10 +123,13 @@ struct OrbaOutput {
   size_t Z = 0;
 };
 
-/// Obliviously assign each element of `in` (|in| = n, a power of two, n >=
-/// Z) to a uniformly random bin among beta = 2n/Z bins padded to capacity
-/// Z. `seed` drives the label choice; fresh seeds give fresh assignments.
-/// Throws obl::BinOverflow with negligible, input-independent probability.
+namespace detail {
+
+/// Engine behind Runtime::bin_assign: obliviously assign each element of
+/// `in` (|in| = n, a power of two, n >= Z) to a uniformly random bin among
+/// beta = 2n/Z bins padded to capacity Z. `seed` drives the label choice;
+/// fresh seeds give fresh assignments. Throws obl::BinOverflow with
+/// negligible, input-independent probability.
 template <class Sorter = obl::BitonicSorter>
 OrbaOutput orba(const slice<obl::Elem>& in, uint64_t seed,
                 const SortParams& params, const Sorter& sorter = {}) {
@@ -161,9 +165,19 @@ OrbaOutput orba(const slice<obl::Elem>& in, uint64_t seed,
   });
 
   if (beta > 1) {
-    detail::rec_orba(work, beta, Z, params.gamma, 0, label_bits, sorter);
+    rec_orba(work, beta, Z, params.gamma, 0, label_bits, sorter);
   }
   return out;
+}
+
+}  // namespace detail
+
+/// Deprecated shim kept for one PR; use dopar::Runtime::bin_assign.
+template <class Sorter = obl::BitonicSorter>
+DOPAR_DEPRECATED("use dopar::Runtime::bin_assign")
+OrbaOutput orba(const slice<obl::Elem>& in, uint64_t seed,
+                const SortParams& params, const Sorter& sorter = {}) {
+  return detail::orba(in, seed, params, sorter);
 }
 
 }  // namespace dopar::core

@@ -28,6 +28,7 @@
 #include "obl/compact.hpp"
 #include "obl/scan.hpp"
 #include "sim/tracked.hpp"
+#include "util/compat.hpp"
 #include "util/rng.hpp"
 
 namespace dopar::core {
@@ -47,8 +48,6 @@ struct ByLabel {
   }
 };
 
-}  // namespace detail
-
 /// One ORP attempt. Returns the permuted elements in `out` (|out| = |in|).
 /// Throws obl::BinOverflow on bin overflow; retries are orchestrated by
 /// orp() below.
@@ -63,7 +62,7 @@ void orp_attempt(const slice<obl::Elem>& in, const slice<obl::Elem>& out,
     return;
   }
 
-  OrbaOutput bins = orba(in, seed, params, sorter);
+  OrbaOutput bins = detail::orba(in, seed, params, sorter);
   const slice<Routed> w = bins.bins.s();
   const size_t total = bins.beta * bins.Z;
 
@@ -115,9 +114,9 @@ void orp_attempt(const slice<obl::Elem>& in, const slice<obl::Elem>& out,
   fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) { out[i] = flat[i]; });
 }
 
-/// Obliviously permute `in` into `out` uniformly at random (|out| = |in|,
-/// any length — power-of-two padding is internal; real elements come out
-/// first, input fillers trail).
+/// Engine behind Runtime::permute: obliviously permute `in` into `out`
+/// uniformly at random (|out| = |in|, any length — power-of-two padding is
+/// internal; real elements come out first, input fillers trail).
 template <class Sorter = obl::BitonicSorter>
 void orp(const slice<obl::Elem>& in, const slice<obl::Elem>& out,
          uint64_t seed, SortParams params = {}, const Sorter& sorter = {}) {
@@ -143,6 +142,16 @@ void orp(const slice<obl::Elem>& in, const slice<obl::Elem>& out,
     }
   }
   throw PermuteFailure{};
+}
+
+}  // namespace detail
+
+/// Deprecated shim kept for one PR; use dopar::Runtime::permute.
+template <class Sorter = obl::BitonicSorter>
+DOPAR_DEPRECATED("use dopar::Runtime::permute")
+void orp(const slice<obl::Elem>& in, const slice<obl::Elem>& out,
+         uint64_t seed, SortParams params = {}, const Sorter& sorter = {}) {
+  detail::orp(in, out, seed, params, sorter);
 }
 
 }  // namespace dopar::core

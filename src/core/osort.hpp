@@ -21,6 +21,7 @@
 // filler flags. Elem::extra is clobbered (it holds the permuted position
 // used for tie-breaking).
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 
@@ -32,6 +33,7 @@
 #include "obl/elem.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
+#include "util/compat.hpp"
 
 namespace dopar::core {
 
@@ -40,8 +42,11 @@ enum class Variant {
   Practical,    ///< ORP + REC-SORT (self-contained, Section E)
 };
 
-/// Obliviously sort `a` by key, ascending. See header comment for the
-/// contract. `seed` drives all internal randomness.
+namespace detail {
+
+/// Engine behind Runtime::sort: obliviously sort `a` by key, ascending.
+/// See header comment for the contract. `seed` drives all internal
+/// randomness (the Runtime derives it from its master seed).
 template <class Sorter = obl::BitonicSorter>
 void osort(const slice<obl::Elem>& a, uint64_t seed,
            Variant variant = Variant::Practical, SortParams params = {},
@@ -62,7 +67,8 @@ void osort(const slice<obl::Elem>& a, uint64_t seed,
 
     vec<Elem> permv(padded);
     const slice<Elem> perm = permv.s();
-    orp(work, perm, util::hash_rand(seed, 31 + attempt), params, sorter);
+    detail::orp(work, perm, util::hash_rand(seed, 31 + attempt), params,
+                sorter);
 
     // Record the permuted position for tie-breaking duplicates.
     fj::for_range(0, padded, fj::kDefaultGrain, [&](size_t i) {
@@ -94,18 +100,58 @@ void osort(const slice<obl::Elem>& a, uint64_t seed,
   }
 }
 
+}  // namespace detail
+
+/// Deprecated shim kept for one PR; use dopar::Runtime::sort (or the
+/// detail engine when composing new primitives).
+template <class Sorter = obl::BitonicSorter>
+DOPAR_DEPRECATED("use dopar::Runtime::sort")
+void osort(const slice<obl::Elem>& a, uint64_t seed,
+           Variant variant = Variant::Practical, SortParams params = {},
+           const Sorter& sorter = {}) {
+  detail::osort(a, seed, variant, params, sorter);
+}
+
 /// Sorter policy that plugs the full oblivious sort into the composite
 /// primitives (send-receive, PRAM simulation, application pipelines),
 /// realizing their "sorting bound" rows in Table 2. Only Elem-by-key
 /// ascending orders are supported — exactly what those primitives request.
+///
+/// Thread-safe: composite primitives may invoke operator() from pool
+/// workers concurrently, so the per-call counter that freshens the seed is
+/// atomic (a plain counter was a data race — and a torn/duplicated counter
+/// would reuse seeds across concurrent sorts).
 struct OsortSorter {
   uint64_t seed = 0x05027;
   Variant variant = Variant::Theoretical;
-  mutable uint64_t calls = 0;
+
+  OsortSorter() = default;
+  explicit OsortSorter(uint64_t s, Variant v = Variant::Theoretical)
+      : seed(s), variant(v) {}
+  OsortSorter(const OsortSorter& o)
+      : seed(o.seed),
+        variant(o.variant),
+        calls(o.calls.load(std::memory_order_relaxed)) {}
+  OsortSorter& operator=(const OsortSorter& o) {
+    seed = o.seed;
+    variant = o.variant;
+    calls.store(o.calls.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
 
   void operator()(const slice<obl::Elem>& a, obl::ByKey) const {
-    osort(a, util::hash_rand(seed, ++calls), variant);
+    const uint64_t call =
+        calls.fetch_add(1, std::memory_order_relaxed) + 1;
+    detail::osort(a, util::hash_rand(seed, call), variant);
   }
+
+  uint64_t call_count() const {
+    return calls.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<uint64_t> calls{0};
 };
 
 }  // namespace dopar::core

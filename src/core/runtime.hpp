@@ -1,0 +1,408 @@
+#pragma once
+// dopar::Runtime — the public façade over the paper's oblivious fork-join
+// algorithms (included via the umbrella header "dopar.hpp").
+//
+// A Runtime is a self-contained execution context built once via
+// Runtime::Builder:
+//
+//   auto rt = dopar::Runtime::builder().threads(8).seed(42).build();
+//   rt.sort(records.s());                       // oblivious sort
+//   rt.sort_records(std::span(orders),          // any record type
+//                   [](const Order& o) { return o.id; });
+//   auto labels = rt.connected_components(n, edges);
+//
+// It owns:
+//   * its fork-join pool (threads > 1). Pools are installed per-thread
+//     (fj::ScopedPool) for the duration of each method call, so two
+//     Runtimes with independent pools can serve different pipelines in the
+//     same process — the old global Pool::instance() singleton is gone.
+//   * its measurement session (builder .analytic()/.cache()/.trace()).
+//     An instrumented Runtime executes serially on the analytic executor
+//     (exact span, deterministic traces) and exposes the totals via
+//     cost(), cache_misses() and trace_digest().
+//   * its randomness: every method call derives a fresh seed from the
+//     master seed and a call counter, so nothing hand-threads seed
+//     arguments anymore, and two Runtimes built identically replay
+//     identical randomness call-for-call (seed-determinism).
+//
+// Thread-safety: method calls on one Runtime are serialized by an internal
+// mutex; use one Runtime per concurrent pipeline (they are cheap — a pool
+// and a few words). Determinism holds per Runtime for a deterministic
+// sequence of method calls.
+//
+// The pre-façade free functions (core::osort, core::orp, obl::send_receive,
+// apps::*_oblivious) remain as deprecated shims for one PR; see README.md
+// for the migration table.
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "apps/cc.hpp"
+#include "apps/common.hpp"
+#include "apps/contraction.hpp"
+#include "apps/euler.hpp"
+#include "apps/listrank.hpp"
+#include "apps/msf.hpp"
+#include "core/orba.hpp"
+#include "core/orp.hpp"
+#include "core/osort.hpp"
+#include "core/params.hpp"
+#include "forkjoin/pool.hpp"
+#include "obl/aggregate.hpp"
+#include "obl/elem.hpp"
+#include "obl/sendrecv.hpp"
+#include "obl/sorter.hpp"
+#include "sim/session.hpp"
+#include "sim/tracked.hpp"
+#include "util/rng.hpp"
+
+namespace dopar {
+
+class Runtime {
+ public:
+  /// Fluent configuration. Every setter returns *this; build() yields the
+  /// Runtime (constructed in place — Runtime itself is pinned to its
+  /// address because the pool and session must not move under workers).
+  class Builder {
+   public:
+    /// Total worker parallelism for native execution (the calling thread
+    /// participates, so threads(8) spawns 7 helpers). 1 = serial; 0 = use
+    /// the hardware concurrency. Ignored when instrumentation is on (the
+    /// analytic executor is serial by construction).
+    Builder& threads(unsigned n) {
+      threads_ = n == 0 ? std::thread::hardware_concurrency() : n;
+      if (threads_ == 0) threads_ = 1;
+      return *this;
+    }
+    /// Master seed: the single source of all internal randomness.
+    Builder& seed(uint64_t s) {
+      seed_ = s;
+      return *this;
+    }
+    /// Pipeline parameters (bin capacity Z, branching gamma, ...).
+    /// Default: auto-tuned per input size.
+    Builder& params(core::SortParams p) {
+      params_ = p;
+      return *this;
+    }
+    /// Default sort variant for sort()/sort_records().
+    Builder& variant(core::Variant v) {
+      variant_ = v;
+      return *this;
+    }
+    /// Work/span accounting (serial analytic execution).
+    Builder& analytic() {
+      analytic_ = true;
+      return *this;
+    }
+    /// Ideal-cache simulation with M bytes and B-byte lines (implies
+    /// analytic()).
+    Builder& cache(uint64_t m_bytes, uint64_t b_bytes) {
+      analytic_ = true;
+      cache_m_ = m_bytes;
+      cache_b_ = b_bytes;
+      return *this;
+    }
+    /// Memory-address trace recording (implies analytic()); digest via
+    /// Runtime::trace_digest().
+    Builder& trace() {
+      analytic_ = true;
+      trace_ = true;
+      return *this;
+    }
+
+    Runtime build() const { return Runtime(*this); }
+
+   private:
+    friend class Runtime;
+    unsigned threads_ = 1;
+    uint64_t seed_ = 0xd0'9a12'5eedULL;
+    core::SortParams params_{};
+    core::Variant variant_ = core::Variant::Practical;
+    bool analytic_ = false;
+    uint64_t cache_m_ = 0;
+    uint64_t cache_b_ = 64;
+    bool trace_ = false;
+  };
+
+  static Builder builder() { return Builder{}; }
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // ---- oblivious primitives (paper Sections 3-4) ----------------------
+
+  /// Obliviously sort `a` by key, ascending (Theorem 3.2 pipeline).
+  void sort(const slice<obl::Elem>& a) { sort(a, variant_); }
+  void sort(const slice<obl::Elem>& a, core::Variant v) {
+    const uint64_t s = fresh_seed();
+    with_env([&] { core::detail::osort(a, s, v, params_); });
+  }
+
+  /// Obliviously permute `in` into `out` uniformly at random (ORP).
+  void permute(const slice<obl::Elem>& in, const slice<obl::Elem>& out) {
+    const uint64_t s = fresh_seed();
+    with_env([&] { core::detail::orp(in, out, s, params_); });
+  }
+
+  /// Oblivious random bin assignment (REC-ORBA). |in| must be a power of
+  /// two and at least the bin capacity Z.
+  core::OrbaOutput bin_assign(const slice<obl::Elem>& in) {
+    core::SortParams p = params_;
+    if (p.Z == 0) p = core::SortParams::auto_for(in.size());
+    const uint64_t s = fresh_seed();
+    core::OrbaOutput out;
+    with_env([&] { out = core::detail::orba(in, s, p); });
+    return out;
+  }
+
+  /// Oblivious routing: sources (distinct keys) feed receivers; results in
+  /// original receiver order (kNotFound flags misses).
+  template <class Sorter = obl::BitonicSorter>
+  void send_receive(const slice<obl::Elem>& sources,
+                    const slice<obl::Elem>& dests,
+                    const slice<obl::Elem>& results,
+                    const Sorter& sorter = {}) {
+    with_env([&] { obl::detail::send_receive(sources, dests, results, sorter); });
+  }
+
+  /// Batch-oblivious table read: out[i] = table[addrs[i]].
+  void gather(const slice<uint64_t>& table, const slice<uint64_t>& addrs,
+              const slice<uint64_t>& out) {
+    with_env([&] { apps::gather(table, addrs, out); });
+  }
+
+  /// Batch-oblivious conflict-resolved table write (minimum proposal wins).
+  void scatter_min(const slice<uint64_t>& table,
+                   const slice<uint64_t>& addrs,
+                   const slice<uint64_t>& values,
+                   const slice<uint64_t>& live, bool combine_min = false) {
+    with_env([&] {
+      apps::scatter_min(table, addrs, values, live, obl::BitonicSorter{},
+                        combine_min);
+    });
+  }
+
+  /// Oblivious per-group suffix aggregation in a key-sorted array.
+  template <class Op>
+  void aggregate_suffix(const slice<obl::Elem>& a, const Op& op) {
+    with_env([&] { obl::aggregate_suffix(a, op); });
+  }
+
+  // ---- generic record sorting -----------------------------------------
+
+  /// Obliviously sort arbitrary records by an extracted integer key,
+  /// ascending. `key_of(rec)` must yield a value convertible to uint64_t
+  /// and < 2^64 - 1 (the filler sentinel). The oblivious pipeline runs on
+  /// (key, index) pairs; the records are then reordered through the index
+  /// indirection, so Rec needs no filler encoding, no fixed 32-byte
+  /// layout, and no default constructor — only copyability. Ties are
+  /// broken by the internal random permutation (the order is not stable).
+  template <class Rec, class KeyFn>
+  void sort_records(std::span<Rec> recs, KeyFn&& key_of) {
+    static_assert(
+        std::is_convertible_v<std::invoke_result_t<KeyFn&, const Rec&>,
+                              uint64_t>,
+        "sort_records: key_of(rec) must yield an unsigned 64-bit sort key");
+    const size_t n = recs.size();
+    if (n <= 1) return;
+    const uint64_t s = fresh_seed();
+    std::vector<uint64_t> order(n);
+    with_env([&] {
+      vec<obl::Elem> keysv(n);
+      const slice<obl::Elem> keys = keysv.s();
+      fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+        sim::tick(1);
+        obl::Elem e;
+        e.key = static_cast<uint64_t>(key_of(recs[i]));
+        assert(e.key != ~uint64_t{0} && "key 2^64-1 is the filler sentinel");
+        e.payload = i;
+        keys[i] = e;
+      });
+      core::detail::osort(keys, s, variant_, params_);
+      fj::for_range(0, n, fj::kDefaultGrain,
+                    [&](size_t i) { order[i] = keys[i].payload; });
+    });
+    // Apply the permutation through index indirection (client-side
+    // reordering, like the final decrypt-and-emit of an enclave pipeline).
+    // `order` is a permutation, so each source is moved from exactly once.
+    std::vector<Rec> tmp;
+    tmp.reserve(n);
+    for (size_t i = 0; i < n; ++i) tmp.push_back(std::move(recs[order[i]]));
+    for (size_t i = 0; i < n; ++i) recs[i] = std::move(tmp[i]);
+  }
+
+  // ---- Section 5 applications -----------------------------------------
+
+  /// Oblivious list ranking: distance (weighted) to the list tail.
+  std::vector<uint64_t> list_rank(const std::vector<uint64_t>& succ) {
+    const uint64_t s = fresh_seed();
+    std::vector<uint64_t> out;
+    with_env([&] { out = apps::detail::list_rank(succ, s); });
+    return out;
+  }
+  std::vector<uint64_t> list_rank(const std::vector<uint64_t>& succ,
+                                  const std::vector<uint64_t>& weight) {
+    const uint64_t s = fresh_seed();
+    std::vector<uint64_t> out;
+    with_env([&] { out = apps::detail::list_rank(succ, weight, s); });
+    return out;
+  }
+
+  /// Oblivious Euler tour of an unrooted tree, rooted at `root`.
+  std::vector<uint64_t> euler_tour(const std::vector<apps::Edge>& edges,
+                                   uint32_t root) {
+    const uint64_t s = fresh_seed();
+    std::vector<uint64_t> out;
+    with_env([&] { out = apps::detail::euler_tour(edges, root, s); });
+    return out;
+  }
+
+  /// Parent / depth / preorder / subtree size for every vertex.
+  apps::TreeFunctions tree_functions(const std::vector<apps::Edge>& edges,
+                                     uint32_t root) {
+    const uint64_t s = fresh_seed();
+    apps::TreeFunctions out;
+    with_env([&] { out = apps::detail::tree_functions(edges, root, s); });
+    return out;
+  }
+
+  /// Oblivious connected components (label = min vertex id).
+  std::vector<uint64_t> connected_components(
+      size_t n, const std::vector<apps::GEdge>& edges) {
+    std::vector<uint64_t> out;
+    with_env([&] { out = apps::detail::connected_components(n, edges); });
+    return out;
+  }
+
+  /// Oblivious minimum spanning forest (0/1 flag per input edge).
+  std::vector<uint8_t> msf(size_t n, const std::vector<apps::GEdge>& edges) {
+    std::vector<uint8_t> out;
+    with_env([&] { out = apps::detail::msf(n, edges); });
+    return out;
+  }
+
+  /// Oblivious expression-tree evaluation by rake contraction.
+  uint64_t tree_eval(const apps::ExprTree& t) {
+    uint64_t out = 0;
+    with_env([&] { out = apps::detail::tree_eval(t); });
+    return out;
+  }
+
+  // ---- tracked-buffer helpers -----------------------------------------
+
+  /// Construct a tracked buffer registered with this Runtime's measurement
+  /// session (if any), so its accesses appear in the cache sim / trace.
+  template <class T>
+  vec<T> make_vec(std::vector<T> v) {
+    std::lock_guard<std::mutex> lk(exec_m_);
+    if (session_) {
+      sim::ScopedSession guard(*session_);
+      return vec<T>(std::move(v));
+    }
+    return vec<T>(std::move(v));
+  }
+  template <class T>
+  vec<T> make_vec(size_t n) {
+    std::lock_guard<std::mutex> lk(exec_m_);
+    if (session_) {
+      sim::ScopedSession guard(*session_);
+      return vec<T>(n);
+    }
+    return vec<T>(n);
+  }
+
+  // ---- introspection ---------------------------------------------------
+
+  /// Work/span totals accumulated across all instrumented calls (zero for
+  /// an uninstrumented Runtime).
+  sim::Cost cost() const {
+    std::lock_guard<std::mutex> lk(exec_m_);
+    return session_ ? session_->cost() : sim::Cost{};
+  }
+  /// Ideal-cache misses (builder .cache() required).
+  uint64_t cache_misses() const {
+    std::lock_guard<std::mutex> lk(exec_m_);
+    return session_ && session_->cache() ? session_->cache()->misses() : 0;
+  }
+  /// Digest of the recorded address trace (builder .trace() required).
+  uint64_t trace_digest() const {
+    std::lock_guard<std::mutex> lk(exec_m_);
+    return session_ && session_->log() ? session_->log()->digest() : 0;
+  }
+  bool instrumented() const { return session_ != nullptr; }
+  /// Total native parallelism (1 = serial; instrumented Runtimes are
+  /// always serial).
+  unsigned threads() const { return pool_ ? pool_->workers() : 1; }
+  uint64_t master_seed() const { return seed_; }
+  core::SortParams params() const { return params_; }
+  core::Variant variant() const { return variant_; }
+  /// Seeds drawn so far (one or more per randomized method call).
+  uint64_t seeds_drawn() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Builder;
+
+  explicit Runtime(const Builder& b)
+      : seed_(b.seed_), params_(b.params_), variant_(b.variant_) {
+    if (b.analytic_) {
+      // The &&-qualified Session builders mutate *this and return it by
+      // rvalue reference, so the discarded results still configure `s`
+      // (assigning them back would be a self-move).
+      sim::Session s = sim::Session::analytic();
+      if (b.cache_m_ != 0) (void)std::move(s).with_cache(b.cache_m_, b.cache_b_);
+      if (b.trace_) (void)std::move(s).with_trace();
+      session_ = std::make_unique<sim::Session>(std::move(s));
+    } else if (b.threads_ > 1) {
+      pool_ = std::make_unique<fj::Pool>(b.threads_ - 1);
+    }
+  }
+
+  /// Next derived seed: hash of (master seed, call counter). Counter-based
+  /// so identical Runtimes making identical call sequences replay
+  /// identical randomness.
+  uint64_t fresh_seed() {
+    return util::hash_rand(seed_,
+                           seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
+
+  /// Run `f` inside this Runtime's execution environment: measurement
+  /// session installed (serial analytic executor), else pool installed on
+  /// this thread with the caller participating as worker 0, else plain
+  /// serial. Calls are serialized per Runtime.
+  template <class F>
+  void with_env(F&& f) {
+    std::lock_guard<std::mutex> lk(exec_m_);
+    if (session_) {
+      sim::ScopedSession guard(*session_);
+      f();
+      return;
+    }
+    if (pool_) {
+      fj::ScopedPool guard(*pool_);
+      pool_->run(f);
+      return;
+    }
+    f();
+  }
+
+  uint64_t seed_;
+  std::atomic<uint64_t> seq_{0};
+  core::SortParams params_;
+  core::Variant variant_;
+  std::unique_ptr<fj::Pool> pool_;
+  std::unique_ptr<sim::Session> session_;
+  mutable std::mutex exec_m_;
+};
+
+}  // namespace dopar

@@ -1,0 +1,33 @@
+#pragma once
+// dopar — data-oblivious parallel algorithms in the cache-agnostic binary
+// fork-join model (Ramachandran & Shi, SPAA'21). Umbrella header: this is
+// the one include an application needs.
+//
+//   #include "dopar.hpp"
+//
+//   auto rt = dopar::Runtime::builder().threads(8).seed(42).build();
+//   rt.sort_records(std::span(rows), [](const Row& r) { return r.key; });
+//   auto labels = rt.connected_components(n, edges);
+//
+// Everything routes through dopar::Runtime (core/runtime.hpp): a
+// per-pipeline execution context owning its thread pool, its measurement
+// session and its randomness. See README.md for the quickstart and the
+// migration table from the pre-façade free functions (which survive one
+// more PR as deprecated shims).
+
+#include "core/runtime.hpp"
+
+namespace dopar {
+
+// Convenience aliases: the façade vocabulary at namespace scope, so
+// applications write dopar::Runtime, dopar::Elem, dopar::Variant,
+// dopar::SortParams, ... without spelunking the layer namespaces.
+using core::SortParams;
+using core::Variant;
+using obl::Elem;
+using apps::Edge;
+using apps::ExprTree;
+using apps::GEdge;
+using apps::TreeFunctions;
+
+}  // namespace dopar

@@ -12,8 +12,8 @@
 // Dispatch:
 //   * analytic mode (a sim::Session is installed): execute serially and
 //     combine child costs at joins — span(a||b) = max + 1, work = sum + 1.
-//   * a global Pool is installed and we are on a worker thread: real
-//     work-stealing parallel execution.
+//   * a Pool is installed on this thread (ScopedPool / Runtime) and we are
+//     on a worker thread: real work-stealing parallel execution.
 //   * otherwise: plain serial execution.
 
 #include <cstddef>
@@ -35,7 +35,7 @@ void invoke(A&& a, B&& b) {
     s->join2(parent, ca, cb);
     return;
   }
-  if (Pool* p = Pool::instance(); p && Pool::on_worker_thread()) {
+  if (Pool* p = Pool::current(); p && Pool::on_worker_thread()) {
     p->fork2(std::forward<A>(a), std::forward<B>(b));
     return;
   }

@@ -9,8 +9,8 @@ int& Pool::tls_worker_id() {
   return id;
 }
 
-Pool*& Pool::instance() {
-  static Pool* p = nullptr;
+Pool*& Pool::current() {
+  thread_local Pool* p = nullptr;
   return p;
 }
 
@@ -98,6 +98,9 @@ void Pool::help_until(std::atomic<uint32_t>& pending) {
 
 void Pool::worker_loop(unsigned id) {
   tls_worker_id() = static_cast<int>(id);
+  // Workers are permanently bound to their owning pool: stolen task bodies
+  // that fork again must dispatch into the same pool.
+  current() = this;
   unsigned idle_rounds = 0;
   while (!shutdown_.load(std::memory_order_acquire)) {
     if (Task* t = find_task(id)) {
@@ -114,6 +117,7 @@ void Pool::worker_loop(unsigned id) {
     }
   }
   tls_worker_id() = -1;
+  current() = nullptr;
 }
 
 }  // namespace dopar::fj

@@ -16,22 +16,34 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "util/compat.hpp"
+
 namespace dopar::fj {
 
 /// A forked-but-not-yet-joined task. Lives on the forker's stack: fork2
 /// blocks until both branches complete, so the storage outlives all uses.
+/// An exception thrown by the branch (e.g. the oblivious primitives'
+/// negligible-probability BinOverflow, which callers catch and retry) is
+/// captured here and rethrown at the join in the forker — it must not
+/// unwind a worker's loop, which would std::terminate the process.
 struct Task {
   void (*exec)(Task*) = nullptr;
   std::atomic<uint32_t>* pending = nullptr;
+  std::exception_ptr error;
 
   void run() {
-    exec(this);
+    try {
+      exec(this);
+    } catch (...) {
+      error = std::current_exception();
+    }
     pending->fetch_sub(1, std::memory_order_acq_rel);
   }
 };
@@ -49,13 +61,17 @@ class Pool {
   unsigned workers() const { return static_cast<unsigned>(queues_.size()); }
 
   /// Execute `root` with the calling thread registered as worker 0.
-  /// All forks performed inside have joined by the time this returns.
+  /// All forks performed inside have joined by the time this returns,
+  /// whether it returns normally or by exception (retryable overflow
+  /// events from the oblivious primitives unwind through here).
   template <class Root>
   void run(Root&& root) {
-    const int prev = tls_worker_id();
+    struct IdGuard {
+      int prev;
+      ~IdGuard() { tls_worker_id() = prev; }
+    } guard{tls_worker_id()};
     tls_worker_id() = 0;
     root();
-    tls_worker_id() = prev;
   }
 
   /// Binary fork: runs `a` inline while exposing `b` for stealing, then
@@ -78,16 +94,35 @@ class Pool {
     t.pending = &pending;
     t.exec = [](Task* base) { (*static_cast<BranchTask*>(base)->fn)(); };
     push_local(&t);
-    a();
+    try {
+      a();
+    } catch (...) {
+      // `t` lives on this stack frame: before unwinding, either reclaim it
+      // from the deque or wait for the thief to finish with it. A stolen
+      // branch's own error is superseded by the first branch's.
+      if (!pop_local_if(&t)) help_until(pending);
+      throw;
+    }
     if (pop_local_if(&t)) {
-      b();  // nobody stole it; run the branch inline
+      b();  // nobody stole it; run the branch inline (throws propagate)
       return;
     }
     help_until(pending);
+    if (t.error) std::rethrow_exception(t.error);
   }
 
-  /// Globally installed pool (see WithPool); null when absent.
-  static Pool*& instance();
+  /// The pool installed on the *current thread* (see ScopedPool); null when
+  /// absent. Worker threads are permanently bound to their owning pool;
+  /// client threads install a pool with ScopedPool (or via dopar::Runtime,
+  /// which owns one pool per runtime). Thread-locality is what lets two
+  /// runtimes with independent pools coexist in one process.
+  static Pool*& current();
+
+  /// Deprecated alias from the global-singleton era. The pointer has been
+  /// thread-local since the Runtime façade landed; use current().
+  DOPAR_DEPRECATED("use fj::Pool::current() / fj::ScopedPool")
+  static Pool*& instance() { return current(); }
+
   static bool on_worker_thread() { return tls_worker_id() >= 0; }
 
  private:
@@ -114,15 +149,27 @@ class Pool {
   std::atomic<uint64_t> steal_seed_{0x9e3779b97f4a7c15ULL};
 };
 
-/// RAII helper: constructs a pool and installs it as the global instance so
-/// that fj::invoke (api.hpp) dispatches to it.
+/// RAII installer: makes `p` the current pool of this thread so that
+/// fj::invoke (api.hpp) dispatches to it. The Runtime façade wraps every
+/// method call in one of these; install manually only in harness code.
+class ScopedPool {
+ public:
+  explicit ScopedPool(Pool& p) : prev_(Pool::current()) {
+    Pool::current() = &p;
+  }
+  ~ScopedPool() { Pool::current() = prev_; }
+  ScopedPool(const ScopedPool&) = delete;
+  ScopedPool& operator=(const ScopedPool&) = delete;
+
+ private:
+  Pool* prev_;
+};
+
+/// RAII helper: constructs a pool and installs it as this thread's current
+/// pool so that fj::invoke (api.hpp) dispatches to it.
 class WithPool {
  public:
-  explicit WithPool(unsigned helpers) : pool_(helpers) {
-    prev_ = Pool::instance();
-    Pool::instance() = &pool_;
-  }
-  ~WithPool() { Pool::instance() = prev_; }
+  explicit WithPool(unsigned helpers) : pool_(helpers) {}
 
   template <class Root>
   void run(Root&& root) {
@@ -132,7 +179,7 @@ class WithPool {
 
  private:
   Pool pool_;
-  Pool* prev_;
+  ScopedPool scoped_{pool_};
 };
 
 }  // namespace dopar::fj

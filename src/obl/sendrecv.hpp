@@ -30,6 +30,7 @@
 #include "obl/sorter.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
+#include "util/compat.hpp"
 
 namespace dopar::obl {
 
@@ -52,11 +53,9 @@ struct SrCombine {
   }
 };
 
-}  // namespace detail
-
-/// Route values from `sources` (distinct keys; value in payload/aux) to
-/// `dests` (requested key in .key). Writes into `results` (size = |dests|,
-/// original receiver order).
+/// Engine behind Runtime::send_receive: route values from `sources`
+/// (distinct keys; value in payload/aux) to `dests` (requested key in
+/// .key). Writes into `results` (size = |dests|, original receiver order).
 template <class Sorter = BitonicSorter>
 void send_receive(const slice<Elem>& sources, const slice<Elem>& dests,
                   const slice<Elem>& results, const Sorter& sorter = {}) {
@@ -137,6 +136,16 @@ void send_receive(const slice<Elem>& sources, const slice<Elem>& dests,
     e.flags &= ~Elem::kDest;
     results[i] = e;
   });
+}
+
+}  // namespace detail
+
+/// Deprecated shim kept for one PR; use dopar::Runtime::send_receive.
+template <class Sorter = BitonicSorter>
+DOPAR_DEPRECATED("use dopar::Runtime::send_receive")
+void send_receive(const slice<Elem>& sources, const slice<Elem>& dests,
+                  const slice<Elem>& results, const Sorter& sorter = {}) {
+  detail::send_receive(sources, dests, results, sorter);
 }
 
 }  // namespace dopar::obl

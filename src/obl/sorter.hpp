@@ -1,6 +1,11 @@
 #pragma once
 // Sorter policy used by composite oblivious primitives.
 //
+// Sorters are the pluggable backend layer beneath the dopar::Runtime
+// façade (core/runtime.hpp): Runtime methods accept any of these policies
+// (plus core::OsortSorter) where the primitive is sorter-parametric. A
+// named registry with runtime selection is a ROADMAP open item.
+//
 // Bin placement, compaction and send-receive are written against a
 // pluggable "oblivious sorter" so that:
 //   * self-contained/practical configurations use the cache-agnostic

@@ -86,7 +86,7 @@ std::vector<uint64_t> run_oblivious_sb(Program& prog,
       d.key = obl::oselect<uint64_t>(reading, reqs[pid].addr, kDummyAddr);
       rdest[pid] = d;
     });
-    obl::send_receive(mem, rdest, rresv.s(), sorter);
+    obl::detail::send_receive(mem, rdest, rresv.s(), sorter);
     for (size_t pid = 0; pid < p; ++pid) {
       const Elem r = rresv.s()[pid];
       responses[pid] =
@@ -138,7 +138,7 @@ std::vector<uint64_t> run_oblivious_sb(Program& prog,
 
     // Scatter: memory cells receive their (possibly absent) new value.
     vec<Elem> updv(s);
-    obl::send_receive(w, mem, updv.s(), sorter);
+    obl::detail::send_receive(w, mem, updv.s(), sorter);
     const slice<Elem> upd = updv.s();
     fj::for_range(0, s, fj::kDefaultGrain, [&](size_t i) {
       sim::tick(1);

@@ -1,0 +1,16 @@
+#pragma once
+// Deprecation markers for the pre-Runtime free-function API.
+//
+// PR 2 introduced the dopar::Runtime façade (core/runtime.hpp); the old
+// seed-threaded free functions (core::osort, core::orp, obl::send_receive,
+// the apps::*_oblivious entry points, fj::Pool::instance) remain as thin
+// shims for one PR and are slated for removal. New code goes through
+// Runtime. Legacy translation units (the pre-façade tests and benches)
+// define DOPAR_NO_DEPRECATION_WARNINGS to keep exercising the shims
+// without noise.
+
+#if defined(DOPAR_NO_DEPRECATION_WARNINGS)
+#define DOPAR_DEPRECATED(msg)
+#else
+#define DOPAR_DEPRECATED(msg) [[deprecated(msg)]]
+#endif

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "forkjoin/api.hpp"
@@ -53,6 +54,33 @@ TEST(ForkJoin, PoolRunsManyForksWithoutLoss) {
     });
   });
   EXPECT_EQ(count.load(), 100000u);
+}
+
+TEST(ForkJoin, ExceptionsPropagateFromForkedBranchesAndPoolSurvives) {
+  // The oblivious primitives throw retryable overflow events from inside
+  // forked branches; a throw on a stolen branch must reach the forker's
+  // join (not unwind the worker loop), and the pool must stay usable.
+  fj::WithPool wp(3);
+  for (int round = 0; round < 25; ++round) {
+    bool caught = false;
+    try {
+      wp.run([&] {
+        fj::for_range(0, 50000, 16, [&](size_t i) {
+          if (i == 49999) throw std::runtime_error("overflow-event");
+        });
+      });
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+    EXPECT_TRUE(caught);
+    std::atomic<uint64_t> count{0};
+    wp.run([&] {
+      fj::for_range(0, 4096, 16, [&](size_t) {
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+    EXPECT_EQ(count.load(), 4096u);
+  }
 }
 
 TEST(ForkJoin, NestedPoolsForksAreReentrant) {

@@ -1,0 +1,258 @@
+// Unit tests: the dopar::Runtime façade (core/runtime.hpp).
+//
+// This suite intentionally builds WITHOUT DOPAR_NO_DEPRECATION_WARNINGS:
+// it must compile clean against the new API only.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dopar.hpp"
+#include "testutil.hpp"
+
+namespace dopar {
+namespace {
+
+// A record type the old Elem-bound API could not sort directly: non-POD
+// payload, no key packing, no default-constructed filler encoding.
+struct Order {
+  uint64_t id = 0;
+  std::string note;
+  double amount = 0.0;
+};
+
+std::vector<Order> random_orders(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Order> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i].id = rng.below(1'000'000);
+    v[i].note = "order-" + std::to_string(v[i].id);
+    v[i].amount = static_cast<double>(v[i].id) * 1.5;
+  }
+  return v;
+}
+
+TEST(RuntimeSortRecords, RoundTripsNonTrivialPayloads) {
+  constexpr size_t n = 3000;
+  auto orders = random_orders(n, 17);
+  auto orig = orders;
+
+  auto rt = Runtime::builder().seed(99).build();
+  rt.sort_records(std::span<Order>(orders),
+                  [](const Order& o) { return o.id; });
+
+  ASSERT_EQ(orders.size(), n);
+  for (size_t i = 1; i < n; ++i) {
+    EXPECT_LE(orders[i - 1].id, orders[i].id);
+  }
+  // Payloads travelled with their keys, nothing lost or duplicated.
+  for (const Order& o : orders) {
+    EXPECT_EQ(o.note, "order-" + std::to_string(o.id));
+    EXPECT_DOUBLE_EQ(o.amount, static_cast<double>(o.id) * 1.5);
+  }
+  auto ids_of = [](std::vector<Order> v) {
+    std::vector<uint64_t> ids(v.size());
+    for (size_t i = 0; i < v.size(); ++i) ids[i] = v[i].id;
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  EXPECT_EQ(ids_of(orders), ids_of(orig));
+}
+
+TEST(RuntimeSortRecords, HandlesTinyAndDuplicateInputs) {
+  auto rt = Runtime::builder().seed(5).build();
+  std::vector<Order> empty;
+  rt.sort_records(std::span<Order>(empty),
+                  [](const Order& o) { return o.id; });
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<Order> dup(257);
+  for (size_t i = 0; i < dup.size(); ++i) {
+    dup[i].id = i % 3;
+    dup[i].note = std::to_string(i);
+  }
+  rt.sort_records(std::span<Order>(dup),
+                  [](const Order& o) { return o.id; });
+  for (size_t i = 1; i < dup.size(); ++i) {
+    EXPECT_LE(dup[i - 1].id, dup[i].id);
+  }
+}
+
+TEST(RuntimeSort, SortsElemSlicesWithPerCallVariant) {
+  constexpr size_t n = 2048;
+  auto rt = Runtime::builder().seed(7).threads(3).build();
+  for (auto variant : {Variant::Practical, Variant::Theoretical}) {
+    auto in = test::random_elems(n, 23);
+    vec<Elem> v(in);
+    rt.sort(v.s(), variant);
+    EXPECT_TRUE(test::sorted_by_key(v.underlying()));
+    EXPECT_TRUE(test::same_keys(v.underlying(), in));
+  }
+}
+
+TEST(RuntimeSendReceive, RoutesThroughTheFacade) {
+  auto rt = Runtime::builder().seed(3).build();
+  vec<Elem> src(4), dst(3), res(3);
+  for (size_t i = 0; i < 4; ++i) {
+    src.s()[i].key = 10 + i;
+    src.s()[i].payload = 100 + i;
+  }
+  dst.s()[0].key = 12;
+  dst.s()[1].key = 10;
+  dst.s()[2].key = 77;  // miss
+  rt.send_receive(src.s(), dst.s(), res.s());
+  EXPECT_EQ(res.s()[0].payload, 102u);
+  EXPECT_EQ(res.s()[1].payload, 100u);
+  EXPECT_NE(res.s()[2].flags & Elem::kNotFound, 0u);
+}
+
+// Two Runtimes with independent pools and seeds running concurrently in
+// one process: each must behave exactly like an identically-built Runtime
+// running alone (the old global pool singleton made this impossible).
+TEST(RuntimeIsolation, TwoConcurrentRuntimesAreIndependent) {
+  constexpr size_t n = 1500;
+
+  auto permute_with = [&](uint64_t seed, unsigned threads,
+                          uint64_t data_seed) {
+    auto rt = Runtime::builder().seed(seed).threads(threads).build();
+    auto in_data = test::random_elems(n, data_seed);
+    vec<Elem> in(in_data), out(n);
+    rt.permute(in.s(), out.s());
+    std::vector<uint64_t> keys(n);
+    for (size_t i = 0; i < n; ++i) keys[i] = out.underlying()[i].key;
+    return keys;
+  };
+
+  // Golden results, computed serially and alone.
+  const auto golden_a = permute_with(111, 1, 1);
+  const auto golden_b = permute_with(222, 1, 2);
+
+  std::vector<uint64_t> got_a, got_b;
+  std::thread ta([&] { got_a = permute_with(111, 3, 1); });
+  std::thread tb([&] { got_b = permute_with(222, 2, 2); });
+  ta.join();
+  tb.join();
+
+  // Deterministic per runtime, independent of each other's presence and
+  // of pool size.
+  EXPECT_EQ(got_a, golden_a);
+  EXPECT_EQ(got_b, golden_b);
+  // Different master seeds give different permutations.
+  EXPECT_NE(got_a, got_b);
+}
+
+TEST(RuntimeIsolation, ConcurrentSortsOnDistinctPoolsAreCorrect) {
+  constexpr size_t n = 4096;
+  auto run_sort = [&](uint64_t seed, std::vector<Elem>* out) {
+    auto rt = Runtime::builder().seed(seed).threads(3).build();
+    auto in = test::random_elems(n, seed);
+    vec<Elem> v(in);
+    rt.sort(v.s());
+    *out = v.underlying();
+  };
+  std::vector<Elem> a, b;
+  std::thread ta([&] { run_sort(31, &a); });
+  std::thread tb([&] { run_sort(32, &b); });
+  ta.join();
+  tb.join();
+  EXPECT_TRUE(test::sorted_by_key(a));
+  EXPECT_TRUE(test::sorted_by_key(b));
+}
+
+// Same builder configuration => identical outputs AND identical ORP trace
+// digests, call-for-call; a different master seed changes the permutation.
+TEST(RuntimeDeterminism, SameBuilderReplaysOutputsAndTraceDigest) {
+  constexpr size_t n = 1024;
+  auto trace_run = [&](uint64_t seed) {
+    auto rt = Runtime::builder().seed(seed).trace().build();
+    auto in_data = test::random_elems(n, 77);
+    auto in = rt.make_vec<Elem>(in_data);
+    auto out = rt.make_vec<Elem>(n);
+    rt.permute(in.s(), out.s());
+    std::vector<uint64_t> keys(n);
+    for (size_t i = 0; i < n; ++i) keys[i] = out.underlying()[i].key;
+    return std::make_pair(keys, rt.trace_digest());
+  };
+
+  const auto [keys1, digest1] = trace_run(1234);
+  const auto [keys2, digest2] = trace_run(1234);
+  EXPECT_EQ(keys1, keys2);
+  EXPECT_NE(digest1, 0u);
+  EXPECT_EQ(digest1, digest2);
+
+  const auto [keys3, digest3] = trace_run(4321);
+  EXPECT_NE(keys1, keys3);  // ~n!/(n!)^2 collision chance: negligible
+  (void)digest3;
+}
+
+// The trace digest is also input-independent (the obliviousness property,
+// now reachable without touching sim::Session directly).
+TEST(RuntimeDeterminism, TraceDigestIsInputIndependent) {
+  constexpr size_t n = 512;
+  auto digest_for = [&](uint64_t data_seed) {
+    auto rt = Runtime::builder().seed(9).trace().build();
+    auto in = rt.make_vec<Elem>(test::random_elems(n, data_seed));
+    auto out = rt.make_vec<Elem>(n);
+    rt.permute(in.s(), out.s());
+    return rt.trace_digest();
+  };
+  EXPECT_EQ(digest_for(100), digest_for(200));
+}
+
+TEST(RuntimeInstrumentation, CostAndCacheCountersAccumulate) {
+  constexpr size_t n = 2048;
+  auto rt = Runtime::builder().seed(4).cache(1 << 16, 64).build();
+  EXPECT_TRUE(rt.instrumented());
+  auto v = rt.make_vec<Elem>(test::random_elems(n, 8));
+  rt.sort(v.s());
+  EXPECT_TRUE(test::sorted_by_key(v.underlying()));
+  EXPECT_GT(rt.cost().work, 0u);
+  EXPECT_GT(rt.cost().span, 0u);
+  EXPECT_LT(rt.cost().span, rt.cost().work);
+  EXPECT_GT(rt.cache_misses(), 0u);
+}
+
+TEST(RuntimeApps, GraphAndListMethodsMatchEngines) {
+  auto rt = Runtime::builder().seed(21).build();
+
+  // List ranking on a simple chain 0 -> 1 -> ... -> 9 (tail = 9).
+  std::vector<uint64_t> succ{1, 2, 3, 4, 5, 6, 7, 8, 9, 9};
+  auto rank = rt.list_rank(succ);
+  ASSERT_EQ(rank.size(), succ.size());
+  for (size_t i = 0; i < succ.size(); ++i) {
+    EXPECT_EQ(rank[i], succ.size() - 1 - i);
+  }
+
+  // Connected components on two triangles.
+  std::vector<GEdge> edges{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}};
+  auto labels = rt.connected_components(6, edges);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_EQ(labels[4], labels[5]);
+  EXPECT_NE(labels[0], labels[3]);
+
+  // Tree functions on a path 0 - 1 - 2 - 3.
+  std::vector<Edge> tree{{0, 1}, {1, 2}, {2, 3}};
+  auto tf = rt.tree_functions(tree, 0);
+  EXPECT_EQ(tf.depth[3], 3u);
+  EXPECT_EQ(tf.parent[3], 2u);
+  EXPECT_EQ(tf.subtree[0], 4u);
+}
+
+TEST(RuntimeSeeds, EveryRandomizedCallDrawsAFreshSeed) {
+  auto rt = Runtime::builder().seed(50).build();
+  auto in = test::random_elems(64, 3);
+  vec<Elem> a(in), b(in);
+  rt.sort(a.s());
+  rt.sort(b.s());
+  EXPECT_EQ(rt.seeds_drawn(), 2u);
+}
+
+}  // namespace
+}  // namespace dopar
