@@ -55,7 +55,7 @@ void BM_Orp(benchmark::State& state) {
   uint64_t seed = 0;
   for (auto _ : state) {
     vec<obl::Elem> in(data), out(n);
-    core::orp(in.s(), out.s(), ++seed);
+    core::detail::orp(in.s(), out.s(), ++seed);
     benchmark::DoNotOptimize(out.underlying().data());
   }
   state.SetItemsProcessed(state.iterations() * n);
@@ -68,7 +68,7 @@ void BM_OsortPractical(benchmark::State& state) {
   uint64_t seed = 0;
   for (auto _ : state) {
     vec<obl::Elem> v(data);
-    core::osort(v.s(), ++seed, core::Variant::Practical);
+    core::detail::osort(v.s(), ++seed, core::Variant::Practical);
     benchmark::DoNotOptimize(v.underlying().data());
   }
   state.SetItemsProcessed(state.iterations() * n);
@@ -81,7 +81,7 @@ void BM_OsortTheoretical(benchmark::State& state) {
   uint64_t seed = 0;
   for (auto _ : state) {
     vec<obl::Elem> v(data);
-    core::osort(v.s(), ++seed, core::Variant::Theoretical);
+    core::detail::osort(v.s(), ++seed, core::Variant::Theoretical);
     benchmark::DoNotOptimize(v.underlying().data());
   }
   state.SetItemsProcessed(state.iterations() * n);
@@ -111,7 +111,7 @@ void BM_SendReceive(benchmark::State& state) {
   }
   for (auto _ : state) {
     vec<obl::Elem> s(sources), d(dests), r(n);
-    obl::send_receive(s.s(), d.s(), r.s());
+    obl::detail::send_receive(s.s(), d.s(), r.s());
     benchmark::DoNotOptimize(r.underlying().data());
   }
   state.SetItemsProcessed(state.iterations() * n);

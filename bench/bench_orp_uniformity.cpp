@@ -26,7 +26,7 @@ int main() {
     std::vector<obl::Elem> in(n);
     for (size_t i = 0; i < n; ++i) in[i].key = i;
     vec<obl::Elem> iv(in), ov(n);
-    core::orp(iv.s(), ov.s(), 100'000 + t);
+    core::detail::orp(iv.s(), ov.s(), 100'000 + t);
     std::array<uint64_t, n> perm{};
     for (size_t i = 0; i < n; ++i) perm[i] = ov.underlying()[i].key;
     counts[perm]++;
@@ -48,7 +48,7 @@ int main() {
     std::vector<obl::Elem> in(n2);
     for (size_t i = 0; i < n2; ++i) in[i].key = i;
     vec<obl::Elem> iv(in), ov(n2);
-    core::orp(iv.s(), ov.s(), 900'000 + t);
+    core::detail::orp(iv.s(), ov.s(), 900'000 + t);
     for (size_t pos = 0; pos < n2; ++pos) {
       hist[ov.underlying()[pos].key][pos]++;
     }
@@ -74,7 +74,7 @@ int main() {
     std::vector<obl::Elem> in(256);
     for (auto& e : in) e.key = rng() >> 1;
     vec<obl::Elem> iv(in), ov(256);
-    core::orp(iv.s(), ov.s(), 4242);
+    core::detail::orp(iv.s(), ov.s(), 4242);
     return s.log()->digest();
   };
   const uint64_t d1 = digest_of(1), d2 = digest_of(2), d3 = digest_of(3);

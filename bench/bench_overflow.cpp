@@ -32,7 +32,7 @@ int main() {
     for (size_t seed = 0; seed < trials; ++seed) {
       try {
         vec<obl::Elem> v(in);
-        core::OrbaOutput out = core::orba(v.s(), seed * 7 + 1, p);
+        core::OrbaOutput out = core::detail::orba(v.s(), seed * 7 + 1, p);
         size_t mx = 0;
         for (size_t b = 0; b < out.beta; ++b) {
           size_t load = 0;

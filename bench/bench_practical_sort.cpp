@@ -24,11 +24,11 @@ int main() {
     for (size_t i = 0; i < n; ++i) in[i].key = rng();
     auto prac = bench::measure([&] {
       vec<obl::Elem> v(in);
-      core::osort(v.s(), 3, core::Variant::Practical);
+      core::detail::osort(v.s(), 3, core::Variant::Practical);
     });
     auto theo = bench::measure([&] {
       vec<obl::Elem> v(in);
-      core::osort(v.s(), 3, core::Variant::Theoretical);
+      core::detail::osort(v.s(), 3, core::Variant::Theoretical);
     });
     const double dn = double(n);
     std::printf(

@@ -23,7 +23,7 @@ int main() {
     for (size_t i = 0; i < n; ++i) in[i].key = rng();
     auto m = bench::measure([&] {
       vec<obl::Elem> v(in);
-      (void)core::orba(v.s(), 7, core::SortParams::auto_for(n));
+      (void)core::detail::orba(v.s(), 7, core::SortParams::auto_for(n));
     });
     const double dn = double(n);
     std::printf(
@@ -53,7 +53,7 @@ int main() {
     auto m = bench::measure(
         [&] {
           vec<obl::Elem> v(in);
-          (void)core::orba(v.s(), 7, core::SortParams::auto_for(n));
+          (void)core::detail::orba(v.s(), 7, core::SortParams::auto_for(n));
         },
         true, M, B);
     std::printf("M=%-8llu B=%-4llu Q=%-9llu  normalized=%.3f\n",

@@ -84,7 +84,7 @@ int main() {
     auto data = rand_elems(n, n);
     Measure mo = measure([&] {
       vec<obl::Elem> v(data);
-      core::osort(v.s(), 1, core::Variant::Practical);
+      core::detail::osort(v.s(), 1, core::Variant::Practical);
     });
     Measure mi = measure([&] {
       vec<obl::Elem> v(data);
@@ -97,7 +97,7 @@ int main() {
   for (size_t n : {size_t{512}, size_t{1024}, size_t{2048}}) {
     auto succ = rand_list(n, n);
     Measure mo =
-        measure([&] { (void)apps::list_rank_oblivious(succ, 7); });
+        measure([&] { (void)apps::detail::list_rank(succ, 7); });
     Measure mi = measure([&] { (void)insecure::list_rank(succ); });
     row("LR", n, mo, mi);
   }
@@ -114,7 +114,7 @@ int main() {
       iedges[i] = insecure::Edge{edges[i].u, edges[i].v};
     }
     Measure mo = measure(
-        [&] { (void)apps::tree_functions_oblivious(edges, 0, 5); });
+        [&] { (void)apps::detail::tree_functions(edges, 0, 5); });
     Measure mi =
         measure([&] { (void)insecure::tree_functions(iedges, 0); });
     row("ET", n, mo, mi);
@@ -144,7 +144,7 @@ int main() {
       roots[j] = t.c0.size() - 1;
     }
     t.root = roots[0];
-    Measure mo = measure([&] { (void)apps::tree_eval_oblivious(t); });
+    Measure mo = measure([&] { (void)apps::detail::tree_eval(t); });
     Measure mi = measure([&] { (void)insecure::tree_eval(t); });
     row("TC", 2 * leaves - 1, mo, mi);
   }
@@ -159,7 +159,7 @@ int main() {
       if (e.u == e.v) e.v = (e.v + 1) % n;
     }
     Measure mo = measure(
-        [&] { (void)apps::connected_components_oblivious(n, edges); });
+        [&] { (void)apps::detail::connected_components(n, edges); });
     Measure mi =
         measure([&] { (void)insecure::connected_components(n, edges); });
     row("CC", n, mo, mi);
@@ -175,7 +175,7 @@ int main() {
       if (edges[e].u == edges[e].v) edges[e].v = (edges[e].v + 1) % n;
       edges[e].w = e * 2 + 1;
     }
-    Measure mo = measure([&] { (void)apps::msf_oblivious(n, edges); });
+    Measure mo = measure([&] { (void)apps::detail::msf(n, edges); });
     Measure mi = measure([&] { (void)insecure::msf(n, edges); });
     row("MSF", n, mo, mi);
   }

@@ -3,24 +3,37 @@
 // "prior best" (the best oblivious PRAM algorithm with every PRAM step
 // naively forked in a binary tree).
 //
+// The send-receive section sweeps EVERY sorter backend registered in the
+// dopar backend registry (core/backend.hpp), so a Table 2 configuration is
+// one registry name and a newly registered backend joins the bench with no
+// code change here.
+//
 // Claims to check (spans; work is equal by construction):
 //   * Aggr/Prop: ours O(log n) vs prior O(log^2 n) — the span ratio
 //     prior/ours should GROW like log n;
-//   * S-R: ours uses the cache-agnostic sorter (sort-bound cache) vs the
-//     naive parallelization (cache O((n/B) log^2 n)) — the cache ratio
-//     grows like log n while spans differ by a loglog-ish factor;
+//   * S-R: the cache-agnostic backend (sort-bound cache) vs the naive
+//     parallelization (cache O((n/B) log^2 n)) — the cache ratio grows
+//     like log n while spans differ by a loglog-ish factor;
 //   * PRAM: per-step cost of the space-bounded simulation (s ~ p) and the
 //     OPRAM-based large-space simulation (s >> p).
+//
+// Besides the human-readable table, every measured row of a run is
+// written to BENCH_table2.json in the *current working directory* (array
+// of {section, config, n, backend, work, span, misses}; rewritten per
+// run). To refresh the committed snapshot, run the bench from the repo
+// root (`./build/bench_table2`) — or copy the file there — and commit it,
+// so the perf trajectory accumulates in the repo's history.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/backend.hpp"
 #include "forkjoin/api.hpp"
 #include "obl/aggregate.hpp"
 #include "obl/propagate.hpp"
 #include "obl/sendrecv.hpp"
-#include "obl/sorter.hpp"
 #include "pram/oblivious_ls.hpp"
 #include "pram/oblivious_sb.hpp"
 #include "pram/reference.hpp"
@@ -32,6 +45,72 @@ namespace {
 
 using bench::measure;
 using bench::Measure;
+
+/// One emitted measurement row (mirrors the JSON schema).
+struct Row {
+  std::string section;
+  std::string config;
+  size_t n = 0;
+  std::string backend;
+  Measure m;
+};
+
+std::vector<Row>& rows() {
+  static std::vector<Row> r;
+  return r;
+}
+
+void record(std::string section, std::string config, size_t n,
+            std::string backend, const Measure& m) {
+  rows().push_back(Row{std::move(section), std::move(config), n,
+                       std::move(backend), m});
+}
+
+/// Minimal JSON string escaping: backend names come from the open
+/// registry, so quotes/backslashes/control bytes must not break the file.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void write_json(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows().size(); ++i) {
+    const Row& r = rows()[i];
+    std::fprintf(f,
+                 "  {\"section\": \"%s\", \"config\": \"%s\", \"n\": %zu, "
+                 "\"backend\": \"%s\", \"work\": %llu, \"span\": %llu, "
+                 "\"misses\": %llu}%s\n",
+                 json_escape(r.section).c_str(), json_escape(r.config).c_str(),
+                 r.n, json_escape(r.backend).c_str(),
+                 (unsigned long long)r.m.work, (unsigned long long)r.m.span,
+                 (unsigned long long)r.m.misses,
+                 i + 1 < rows().size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %zu measurement rows to %s\n", rows().size(), path);
+}
 
 std::vector<obl::Elem> grouped(size_t n, uint64_t groups, uint64_t seed) {
   util::Rng rng(seed);
@@ -95,10 +174,12 @@ int main() {
       vec<obl::Elem> v(data);
       obl::aggregate_suffix(v.s(), Add{});
     });
+    record("aggregate", "ours", n, "", ours);
     Measure prior = measure([&] {
       vec<obl::Elem> v(data);
       naive_pram_aggregate(v.s());
     });
+    record("aggregate", "naive_pram", n, "", prior);
     std::printf(
         "Aggr n=%-7zu ours W=%-9llu S=%-6llu Q=%-8llu | prior W=%-9llu "
         "S=%-6llu Q=%-8llu | span prior/ours=%.2f\n",
@@ -116,6 +197,7 @@ int main() {
       vec<obl::Elem> v(data);
       obl::propagate_leftmost(v.s());
     });
+    record("propagate", "ours", n, "", ours);
     std::printf("Prop n=%-7zu W=%-9llu S=%-6llu Q=%-8llu  S/lg(n)=%.1f  "
                 "W/n=%.1f\n",
                 n, (unsigned long long)ours.work,
@@ -126,10 +208,11 @@ int main() {
   }
 
   bench::print_header(
-      "Send-receive: cache-agnostic vs naive parallelization",
-      "cache ratio naive/ours should grow ~log n (M = 16 KiB so the "
-      "working set exceeds the cache)");
-  for (size_t n : {1u << 11, 1u << 12, 1u << 13}) {
+      "Send-receive: every registered sorter backend",
+      "rows per backend; Q naive_bitonic/bitonic_ca should grow ~log n "
+      "(M = 16 KiB so the working set exceeds the cache); osort realizes "
+      "the Table 2 sorting-bound configuration");
+  for (size_t n : {1u << 11, 1u << 12}) {
     util::Rng rng(n);
     std::vector<obl::Elem> sources(n), dests(n);
     for (size_t i = 0; i < n; ++i) {
@@ -138,26 +221,29 @@ int main() {
       dests[i].key = rng.below(2 * n);
     }
     constexpr uint64_t kSmallM = 16 * 1024;
-    Measure ours = measure(
-        [&] {
-          vec<obl::Elem> s(sources), d(dests), r(dests.size());
-          obl::send_receive(s.s(), d.s(), r.s(), obl::BitonicSorter{});
-        },
-        true, kSmallM, bench::kB);
-    Measure naive = measure(
-        [&] {
-          vec<obl::Elem> s(sources), d(dests), r(dests.size());
-          obl::send_receive(s.s(), d.s(), r.s(), obl::NaiveBitonicSorter{});
-        },
-        true, kSmallM, bench::kB);
-    std::printf(
-        "S-R  n=%-7zu ours W=%-10llu S=%-7llu Q=%-8llu | naive W=%-10llu "
-        "S=%-7llu Q=%-8llu | Q naive/ours=%.2f S naive/ours=%.2f\n",
-        n, (unsigned long long)ours.work, (unsigned long long)ours.span,
-        (unsigned long long)ours.misses, (unsigned long long)naive.work,
-        (unsigned long long)naive.span, (unsigned long long)naive.misses,
-        double(naive.misses) / double(ours.misses ? ours.misses : 1),
-        double(naive.span) / double(ours.span));
+    Measure ca{};  // the cache-agnostic baseline of this n, for ratios
+    Measure naive{};
+    for (const std::string& name : backend_names()) {
+      auto sorter = make_backend(name, BackendConfig{.seed = 7 * n});
+      Measure m = measure(
+          [&] {
+            vec<obl::Elem> s(sources), d(dests), r(dests.size());
+            obl::detail::send_receive(s.s(), d.s(), r.s(), *sorter);
+          },
+          true, kSmallM, bench::kB);
+      record("send_receive", "", n, name, m);
+      if (name == "bitonic_ca") ca = m;
+      if (name == "naive_bitonic") naive = m;
+      std::printf(
+          "S-R  n=%-7zu backend=%-14s W=%-10llu S=%-7llu Q=%-8llu\n", n,
+          name.c_str(), (unsigned long long)m.work,
+          (unsigned long long)m.span, (unsigned long long)m.misses);
+    }
+    if (ca.misses != 0 && ca.span != 0 && naive.misses != 0) {
+      std::printf("     n=%-7zu Q naive/ca=%.2f S naive/ca=%.2f\n", n,
+                  double(naive.misses) / double(ca.misses),
+                  double(naive.span) / double(ca.span));
+    }
   }
 
   bench::print_header("PRAM-step simulation",
@@ -169,12 +255,14 @@ int main() {
     pram::RunStats st_sb, st_ls;
     Measure sb = measure([&] {
       pram::MaxReduceProgram prog(vals);
-      (void)pram::run_oblivious_sb(prog, obl::BitonicSorter{}, &st_sb);
+      (void)pram::run_oblivious_sb(prog, default_backend(), &st_sb);
     });
+    record("pram_step", "sb", p, std::string(default_backend().name()), sb);
     Measure ls = measure([&] {
       pram::MaxReduceProgram prog(vals);
       (void)pram::run_oblivious_ls(prog, 5, &st_ls);
     });
+    record("pram_step", "ls", p, "", ls);
     std::printf(
         "PRAM p=s=%-4zu steps=%-3zu | sb/step W=%-9llu S=%-6llu Q=%-7llu | "
         "ls/step W=%-9llu S=%-6llu Q=%-7llu\n",
@@ -191,12 +279,15 @@ int main() {
     pram::RunStats st_sb, st_ls;
     Measure sb = measure([&] {
       pram::WriteConflictProgram prog(p, rounds);
-      (void)pram::run_oblivious_sb(prog, obl::BitonicSorter{}, &st_sb);
+      (void)pram::run_oblivious_sb(prog, default_backend(), &st_sb);
     });
+    record("pram_large_space", "sb", p,
+           std::string(default_backend().name()), sb);
     Measure ls = measure([&] {
       pram::WriteConflictProgram prog(p, rounds);
       (void)pram::run_oblivious_ls(prog, 5, &st_ls);
     });
+    record("pram_large_space", "ls", p, "", ls);
     std::printf(
         "PRAM p=%zu s=%zu (s~p regime for reference) sb W/step=%llu ls "
         "W/step=%llu\n",
@@ -204,6 +295,7 @@ int main() {
         (unsigned long long)(ls.work / st_ls.steps));
   }
 
-  std::printf("\nDone. See EXPERIMENTS.md.\n");
+  write_json("BENCH_table2.json");
+  std::printf("Done. See EXPERIMENTS.md.\n");
   return 0;
 }

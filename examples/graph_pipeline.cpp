@@ -1,9 +1,14 @@
-// Oblivious graph analytics: connected components and minimum spanning
-// forest over a private graph (paper Section 5.3), served by one Runtime.
+// Oblivious graph analytics served asynchronously by one Runtime: two
+// pipelines — connected components over a social graph and a minimum
+// spanning forest over a sensor mesh — are submitted together with
+// Runtime::submit() and overlap on the runtime's submission workers
+// (paper Section 5.3 algorithms; the cloud learns vertex/edge counts but
+// not which vertices are connected: every round is fixed-pattern
+// oblivious gathers/scatters).
 //
-// The cloud learns the number of vertices and edges but not which vertices
-// are connected: all per-round operations are fixed-pattern oblivious
-// gathers/scatters.
+// Also demonstrates per-call backend selection: the CC pipeline runs on
+// the default cache-agnostic bitonic backend, the MSF pipeline on the
+// Batcher odd-even network — one SortOptions argument, same results.
 
 #include <cstdio>
 #include <set>
@@ -18,9 +23,10 @@ int main() {
 
   // A private social graph: two communities plus weak random bridges.
   util::Rng rng(11);
-  std::vector<GEdge> edges;
+  std::vector<GEdge> social;
   auto add = [&](uint32_t u, uint32_t v) {
-    edges.push_back(GEdge{u, v, static_cast<uint64_t>(edges.size() * 2 + 1)});
+    social.push_back(
+        GEdge{u, v, static_cast<uint64_t>(social.size() * 2 + 1)});
   };
   for (uint32_t v = 1; v < n / 2; ++v) {
     add(static_cast<uint32_t>(rng.below(v)), v);  // community A tree + extras
@@ -34,28 +40,52 @@ int main() {
                                                         : u);
   }
 
+  // A private sensor mesh (ring + chords) with distinct weights.
+  constexpr size_t nm = 96;
+  std::vector<GEdge> mesh;
+  for (uint32_t v = 0; v < nm; ++v) {
+    mesh.push_back(GEdge{v, static_cast<uint32_t>((v + 1) % nm),
+                         static_cast<uint64_t>(2 * v + 1)});
+  }
+  for (int k = 0; k < 48; ++k) {
+    const uint32_t u = static_cast<uint32_t>(rng.below(nm));
+    const uint32_t v = static_cast<uint32_t>(rng.below(nm));
+    if (u == v) continue;
+    mesh.push_back(
+        GEdge{u, v, static_cast<uint64_t>(2 * nm + 2 * mesh.size() + 1)});
+  }
+
   auto rt = Runtime::builder().threads(4).seed(13).build();
 
-  auto labels = rt.connected_components(n, edges);
-  std::set<uint64_t> comps(labels.begin(), labels.end());
-  std::printf("connected components (oblivious): %zu\n", comps.size());
-  auto oracle = insecure::cc_oracle(n, edges);
-  std::printf("matches serial union-find oracle: %s\n",
-              labels == oracle ? "yes" : "NO");
-
-  auto flags = rt.msf(n, edges);
-  uint64_t total = 0;
-  size_t count = 0;
-  for (size_t e = 0; e < edges.size(); ++e) {
-    if (flags[e]) {
-      total += edges[e].w;
-      ++count;
+  // Submit both pipelines; they overlap on the runtime's submission
+  // workers (each primitive call serializes on the shared pool, the glue
+  // between calls runs concurrently). Futures deliver the results.
+  Future<std::vector<uint64_t>> cc_fut = rt.submit([&] {
+    return rt.connected_components(n, social);
+  });
+  Future<uint64_t> msf_fut = rt.submit([&]() -> uint64_t {
+    auto flags = rt.msf(nm, mesh, SortOptions{.backend = "odd_even"});
+    uint64_t total = 0;
+    for (size_t e = 0; e < mesh.size(); ++e) {
+      if (flags[e]) total += mesh[e].w;
     }
-  }
-  std::printf("MSF (oblivious): %zu edges, total weight %llu\n", count,
-              (unsigned long long)total);
-  const uint64_t want = insecure::msf_weight_oracle(n, edges);
+    return total;
+  });
+
+  const std::vector<uint64_t> labels = cc_fut.get();
+  const uint64_t msf_total = msf_fut.get();
+
+  std::set<uint64_t> comps(labels.begin(), labels.end());
+  std::printf("connected components (oblivious, async): %zu\n", comps.size());
+  const auto cc_oracle = insecure::cc_oracle(n, social);
+  std::printf("matches serial union-find oracle: %s\n",
+              labels == cc_oracle ? "yes" : "NO");
+
+  std::printf("MSF (oblivious, async, odd_even backend): weight %llu\n",
+              (unsigned long long)msf_total);
+  const uint64_t want = insecure::msf_weight_oracle(nm, mesh);
   std::printf("matches Kruskal oracle weight %llu: %s\n",
-              (unsigned long long)want, total == want ? "yes" : "NO");
-  return (labels == oracle && total == want) ? 0 : 1;
+              (unsigned long long)want, msf_total == want ? "yes" : "NO");
+
+  return (labels == cc_oracle && msf_total == want) ? 0 : 1;
 }

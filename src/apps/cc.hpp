@@ -16,7 +16,6 @@
 #include "forkjoin/api.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
-#include "util/compat.hpp"
 
 namespace dopar::apps {
 
@@ -29,9 +28,9 @@ namespace detail {
 
 /// Engine behind Runtime::connected_components.
 /// Component label per vertex (the minimum vertex id in the component).
-template <class Sorter = obl::BitonicSorter>
-std::vector<uint64_t> connected_components(
-    size_t n, const std::vector<GEdge>& edges, const Sorter& sorter = {}) {
+inline std::vector<uint64_t> connected_components(
+    size_t n, const std::vector<GEdge>& edges,
+    const SorterBackend& sorter = default_backend()) {
   const size_t m = edges.size();
   vec<uint64_t> Pv(n);
   const slice<uint64_t> P = Pv.s();
@@ -90,14 +89,5 @@ std::vector<uint64_t> connected_components(
 }
 
 }  // namespace detail
-
-/// Deprecated shim kept for one PR; use
-/// dopar::Runtime::connected_components.
-template <class Sorter = obl::BitonicSorter>
-DOPAR_DEPRECATED("use dopar::Runtime::connected_components")
-std::vector<uint64_t> connected_components_oblivious(
-    size_t n, const std::vector<GEdge>& edges, const Sorter& sorter = {}) {
-  return detail::connected_components(n, edges, sorter);
-}
 
 }  // namespace dopar::apps

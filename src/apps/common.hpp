@@ -10,11 +10,11 @@
 #include <cassert>
 #include <cstdint>
 
+#include "core/backend.hpp"
 #include "forkjoin/api.hpp"
 #include "obl/elem.hpp"
 #include "obl/oswap.hpp"
 #include "obl/sendrecv.hpp"
-#include "obl/sorter.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
 
@@ -25,9 +25,9 @@ namespace dopar::apps {
 /// Out-of-range addresses (notably the apps' ~0 "no node" sentinel) are
 /// legal and read as 0: they are branchlessly clamped to the maximum
 /// send-receive key, which no table cell announces, so the lookup misses.
-template <class Sorter = obl::BitonicSorter>
-void gather(const slice<uint64_t>& table, const slice<uint64_t>& addrs,
-            const slice<uint64_t>& out, const Sorter& sorter = {}) {
+inline void gather(const slice<uint64_t>& table, const slice<uint64_t>& addrs,
+                   const slice<uint64_t>& out,
+                   const SorterBackend& sorter = default_backend()) {
   using obl::Elem;
   const size_t s = table.size();
   const size_t q = addrs.size();
@@ -64,10 +64,12 @@ void gather(const slice<uint64_t>& table, const slice<uint64_t>& addrs,
 /// When `combine_min` is true the delivered value additionally combines
 /// with the cell's old content by min (monotone tables, e.g. hooking
 /// labels); when false it replaces it.
-template <class Sorter = obl::BitonicSorter>
-void scatter_min(const slice<uint64_t>& table, const slice<uint64_t>& addrs,
-                 const slice<uint64_t>& values, const slice<uint64_t>& live,
-                 const Sorter& sorter = {}, bool combine_min = false) {
+inline void scatter_min(const slice<uint64_t>& table,
+                        const slice<uint64_t>& addrs,
+                        const slice<uint64_t>& values,
+                        const slice<uint64_t>& live,
+                        const SorterBackend& sorter = default_backend(),
+                        bool combine_min = false) {
   using obl::Elem;
   const size_t s = table.size();
   const size_t q = addrs.size();
@@ -93,7 +95,9 @@ void scatter_min(const slice<uint64_t>& table, const slice<uint64_t>& addrs,
       return a.payload < b.payload;
     }
   };
-  sorter(pv, LessAddrVal{});
+  // (addr, value) is a lexicographic order the canonical Elem-key sort
+  // cannot express, so it runs on the backend's comparator network.
+  sorter.sort(pv, erase_less<Elem>(LessAddrVal{}));
   // Two passes: flag losers from a snapshot, then fillerize.
   vec<uint64_t> loserv(qp);
   const slice<uint64_t> lo = loserv.s();
@@ -134,8 +138,3 @@ void scatter_min(const slice<uint64_t>& table, const slice<uint64_t>& addrs,
 }
 
 }  // namespace dopar::apps
-
-// NOTE: scatter_min's first sort sorts by (addr, value), which the generic
-// Elem-key sorters cannot express directly; when plugging in
-// core::OsortSorter, pack (addr, value) into the key at the call site or
-// use the default comparator-capable network sorters.

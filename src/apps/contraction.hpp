@@ -27,7 +27,6 @@
 #include "forkjoin/api.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
-#include "util/compat.hpp"
 
 namespace dopar::apps {
 
@@ -59,8 +58,8 @@ namespace detail {
 
 /// Engine behind Runtime::tree_eval: evaluate the tree by oblivious rake
 /// contraction.
-template <class Sorter = obl::BitonicSorter>
-uint64_t tree_eval(const ExprTree& t, const Sorter& sorter = {}) {
+inline uint64_t tree_eval(const ExprTree& t,
+                          const SorterBackend& sorter = default_backend()) {
   const size_t n = t.size();
   assert(n >= 1);
 
@@ -249,13 +248,6 @@ uint64_t tree_eval(const ExprTree& t, const Sorter& sorter = {}) {
 }
 
 }  // namespace detail
-
-/// Deprecated shim kept for one PR; use dopar::Runtime::tree_eval.
-template <class Sorter = obl::BitonicSorter>
-DOPAR_DEPRECATED("use dopar::Runtime::tree_eval")
-uint64_t tree_eval_oblivious(const ExprTree& t, const Sorter& sorter = {}) {
-  return detail::tree_eval(t, sorter);
-}
 
 /// Insecure recursive evaluation (oracle).
 inline uint64_t tree_eval_reference(const ExprTree& t) {

@@ -22,7 +22,6 @@
 #include "obl/propagate.hpp"
 #include "obl/sendrecv.hpp"
 #include "sim/tracked.hpp"
-#include "util/compat.hpp"
 
 namespace dopar::apps {
 
@@ -36,10 +35,9 @@ namespace detail {
 /// Euler-tour successor array over directed edge ids. Directed edge e for
 /// e < m is (edges[e].u -> edges[e].v); e >= m is the reversal of e - m.
 /// The tour is rooted at `root`: the tour's last edge points to itself.
-template <class Sorter = obl::BitonicSorter>
-std::vector<uint64_t> euler_tour(const std::vector<Edge>& edges,
-                                 uint32_t root, uint64_t seed,
-                                 const Sorter& sorter = {}) {
+inline std::vector<uint64_t> euler_tour(
+    const std::vector<Edge>& edges, uint32_t root, uint64_t seed,
+    const SorterBackend& sorter = default_backend()) {
   using obl::Elem;
   const size_t m = edges.size();
   const size_t dm = 2 * m;
@@ -58,8 +56,8 @@ std::vector<uint64_t> euler_tour(const std::vector<Edge>& edges,
     rec.payload = e;  // directed edge id
     de[e] = rec;
   });
-  core::detail::osort(de, util::hash_rand(seed, 1),
-                      core::Variant::Practical);
+  core::detail::osort(de, util::hash_rand(seed, 1), core::Variant::Practical,
+                      {}, sorter);
 
   // Adjsucc: next edge in the (circular) adjacency list of the tail.
   // Propagate each group's first edge id to the whole group (for the
@@ -162,9 +160,9 @@ struct TreeFunctions {
 namespace detail {
 
 /// Engine behind Runtime::tree_functions.
-template <class Sorter = obl::BitonicSorter>
-TreeFunctions tree_functions(const std::vector<Edge>& edges, uint32_t root,
-                             uint64_t seed, const Sorter& sorter = {}) {
+inline TreeFunctions tree_functions(
+    const std::vector<Edge>& edges, uint32_t root, uint64_t seed,
+    const SorterBackend& sorter = default_backend()) {
   using obl::Elem;
   const size_t m = edges.size();
   const size_t dm = 2 * m;
@@ -221,23 +219,5 @@ TreeFunctions tree_functions(const std::vector<Edge>& edges, uint32_t root,
 }
 
 }  // namespace detail
-
-/// Deprecated shims kept for one PR; use dopar::Runtime::euler_tour /
-/// Runtime::tree_functions.
-template <class Sorter = obl::BitonicSorter>
-DOPAR_DEPRECATED("use dopar::Runtime::euler_tour")
-std::vector<uint64_t> euler_tour_oblivious(const std::vector<Edge>& edges,
-                                           uint32_t root, uint64_t seed,
-                                           const Sorter& sorter = {}) {
-  return detail::euler_tour(edges, root, seed, sorter);
-}
-
-template <class Sorter = obl::BitonicSorter>
-DOPAR_DEPRECATED("use dopar::Runtime::tree_functions")
-TreeFunctions tree_functions_oblivious(const std::vector<Edge>& edges,
-                                       uint32_t root, uint64_t seed,
-                                       const Sorter& sorter = {}) {
-  return detail::tree_functions(edges, root, seed, sorter);
-}
 
 }  // namespace dopar::apps

@@ -17,13 +17,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "core/osort.hpp"
 #include "forkjoin/api.hpp"
 #include "obl/elem.hpp"
 #include "obl/sendrecv.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
-#include "util/compat.hpp"
 
 namespace dopar::apps {
 
@@ -33,10 +33,9 @@ namespace detail {
 /// rank[i] = sum of weight[j] over the nodes strictly after i on the way
 /// to the tail (so the tail has rank 0 and, with unit weights, rank[i] is
 /// the distance to the tail).
-template <class Sorter = obl::BitonicSorter>
-std::vector<uint64_t> list_rank(
+inline std::vector<uint64_t> list_rank(
     const std::vector<uint64_t>& succ, const std::vector<uint64_t>& weight,
-    uint64_t seed, const Sorter& sorter = {}) {
+    uint64_t seed, const SorterBackend& sorter = default_backend()) {
   using obl::Elem;
   const size_t n = succ.size();
   assert(weight.size() == n);
@@ -58,7 +57,7 @@ std::vector<uint64_t> list_rank(
 
   // 1. Random permutation (orp pads and picks parameters internally).
   vec<Elem> perm(n);
-  core::detail::orp(nodes.s(), perm.s(), seed);
+  core::detail::orp(nodes.s(), perm.s(), seed, {}, sorter);
   const slice<Elem> pv = perm.s();
 
   // 2. Each permuted entry learns its successor's permuted position:
@@ -131,30 +130,13 @@ std::vector<uint64_t> list_rank(
 
 /// Unit-weight convenience overload: rank = #nodes after i (distance to
 /// tail).
-template <class Sorter = obl::BitonicSorter>
-std::vector<uint64_t> list_rank(const std::vector<uint64_t>& succ,
-                                uint64_t seed, const Sorter& sorter = {}) {
+inline std::vector<uint64_t> list_rank(
+    const std::vector<uint64_t>& succ, uint64_t seed,
+    const SorterBackend& sorter = default_backend()) {
   return list_rank(succ, std::vector<uint64_t>(succ.size(), 1), seed,
                    sorter);
 }
 
 }  // namespace detail
-
-/// Deprecated shims kept for one PR; use dopar::Runtime::list_rank.
-template <class Sorter = obl::BitonicSorter>
-DOPAR_DEPRECATED("use dopar::Runtime::list_rank")
-std::vector<uint64_t> list_rank_oblivious(
-    const std::vector<uint64_t>& succ, const std::vector<uint64_t>& weight,
-    uint64_t seed, const Sorter& sorter = {}) {
-  return detail::list_rank(succ, weight, seed, sorter);
-}
-
-template <class Sorter = obl::BitonicSorter>
-DOPAR_DEPRECATED("use dopar::Runtime::list_rank")
-std::vector<uint64_t> list_rank_oblivious(const std::vector<uint64_t>& succ,
-                                          uint64_t seed,
-                                          const Sorter& sorter = {}) {
-  return detail::list_rank(succ, seed, sorter);
-}
 
 }  // namespace dopar::apps

@@ -18,7 +18,6 @@
 #include "forkjoin/api.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
-#include "util/compat.hpp"
 
 namespace dopar::apps {
 
@@ -27,9 +26,9 @@ namespace detail {
 /// Engine behind Runtime::msf.
 /// Returns a 0/1 flag per input edge: 1 iff the edge is in the MSF.
 /// Requires w < 2^31 and m < 2^31 (weight and id pack into one proposal).
-template <class Sorter = obl::BitonicSorter>
-std::vector<uint8_t> msf(size_t n, const std::vector<GEdge>& edges,
-                         const Sorter& sorter = {}) {
+inline std::vector<uint8_t> msf(size_t n, const std::vector<GEdge>& edges,
+                                const SorterBackend& sorter =
+                                    default_backend()) {
   const size_t m = edges.size();
   std::vector<uint8_t> in_msf(m, 0);
   if (m == 0 || n <= 1) return in_msf;
@@ -113,13 +112,5 @@ std::vector<uint8_t> msf(size_t n, const std::vector<GEdge>& edges,
 }
 
 }  // namespace detail
-
-/// Deprecated shim kept for one PR; use dopar::Runtime::msf.
-template <class Sorter = obl::BitonicSorter>
-DOPAR_DEPRECATED("use dopar::Runtime::msf")
-std::vector<uint8_t> msf_oblivious(size_t n, const std::vector<GEdge>& edges,
-                                   const Sorter& sorter = {}) {
-  return detail::msf(n, edges, sorter);
-}
 
 }  // namespace dopar::apps

@@ -1,0 +1,149 @@
+// Sorter-backend registry implementation (see core/backend.hpp), plus the
+// "osort" backend — the one backend that cannot live header-only, because
+// it closes a cycle: the full oblivious sort's own bin placements consume
+// a SorterBackend, and the backend consumes the full sort.
+
+#include "core/backend.hpp"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "core/osort.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace dopar {
+
+namespace {
+
+/// Full-oblivious-sort backend (Theorem 3.2): canonical Elem-by-key sorts
+/// run the complete ORP + comparison-phase pipeline, realizing the Table 2
+/// sorting-bound rows inside the composite primitives. Non-canonical
+/// scratch orders fall back to the cache-agnostic network (the paper's
+/// "O(1) AKS sorts"). A per-call atomic counter freshens the seed so
+/// concurrent sorts never reuse randomness while identical construction
+/// replays identical randomness call-for-call.
+class OsortBackend final : public SorterBackend {
+ public:
+  explicit OsortBackend(const BackendConfig& cfg)
+      : seed_(cfg.seed), variant_(cfg.variant), params_(cfg.params) {}
+
+  std::string_view name() const override { return "osort"; }
+
+  void sort(const slice<obl::Elem>& a) const override {
+    const uint64_t call = calls_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // The configured params target the caller's top-level arrays; the
+    // composite primitives hand this backend scratch arrays of varying
+    // (often much smaller) sizes. Apply the configured Z only when it
+    // fits this array (beta = 2n/Z must stay >= 1 after padding), else
+    // auto-tune the sizing fields for this size — preserving the
+    // configured retry budget, which is size-independent.
+    const size_t padded = util::pow2_ceil(a.size() < 2 ? 2 : a.size());
+    core::SortParams p = params_;
+    if (p.Z == 0 || p.Z > padded) {
+      const int retries = p.max_retries;
+      p = core::SortParams::auto_for(padded);
+      p.max_retries = retries;
+    }
+    core::detail::osort(a, util::hash_rand(seed_, call), variant_, p, *this);
+  }
+  void sort(const slice<obl::Elem>& a,
+            LessFn<obl::Elem> less) const override {
+    default_backend().sort(a, less);
+  }
+  void sort(const slice<obl::BinItem<obl::Elem>>& a,
+            LessFn<obl::BinItem<obl::Elem>> less) const override {
+    default_backend().sort(a, less);
+  }
+  void sort(const slice<obl::BinItem<core::Routed>>& a,
+            LessFn<obl::BinItem<core::Routed>> less) const override {
+    default_backend().sort(a, less);
+  }
+
+ private:
+  uint64_t seed_;
+  core::Variant variant_;
+  core::SortParams params_;
+  mutable std::atomic<uint64_t> calls_{0};
+};
+
+struct Registry {
+  std::mutex m;
+  std::map<std::string, BackendFactory, std::less<>> factories;
+};
+
+/// Network backends are stateless: one shared instance per name serves
+/// every configuration.
+template <class Net>
+BackendFactory network_factory(const char* name) {
+  auto instance = std::make_shared<const NetworkBackend<Net>>(name);
+  return [instance](const BackendConfig&) { return instance; };
+}
+
+Registry& registry() {
+  static Registry* r = [] {
+    auto* reg = new Registry;
+    reg->factories.emplace(
+        "bitonic_ca", network_factory<obl::BitonicSorter>("bitonic_ca"));
+    reg->factories.emplace(
+        "bitonic", network_factory<obl::PlainBitonicSorter>("bitonic"));
+    reg->factories.emplace(
+        "naive_bitonic",
+        network_factory<obl::NaiveBitonicSorter>("naive_bitonic"));
+    reg->factories.emplace(
+        "odd_even", network_factory<obl::OddEvenSorter>("odd_even"));
+    reg->factories.emplace("osort", [](const BackendConfig& cfg) {
+      return std::make_shared<const OsortBackend>(cfg);
+    });
+    return reg;
+  }();
+  return *r;
+}
+
+}  // namespace
+
+const SorterBackend& default_backend() {
+  static const NetworkBackend<obl::BitonicSorter> b("bitonic_ca");
+  return b;
+}
+
+void register_backend(std::string_view name, BackendFactory factory) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  r.factories.insert_or_assign(std::string(name), std::move(factory));
+}
+
+BackendFactory find_backend_factory(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  auto it = r.factories.find(name);
+  if (it == r.factories.end()) {
+    std::string msg = "unknown sorter backend \"";
+    msg += name;
+    msg += "\"; registered:";
+    for (const auto& [known, f] : r.factories) {
+      msg += ' ';
+      msg += known;
+    }
+    throw UnknownBackend(msg);
+  }
+  return it->second;
+}
+
+std::shared_ptr<const SorterBackend> make_backend(std::string_view name,
+                                                  const BackendConfig& config) {
+  return find_backend_factory(name)(config);
+}
+
+std::vector<std::string> backend_names() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  std::vector<std::string> names;
+  names.reserve(r.factories.size());
+  for (const auto& [name, f] : r.factories) names.push_back(name);
+  return names;
+}
+
+}  // namespace dopar

@@ -1,0 +1,180 @@
+#pragma once
+// dopar::SorterBackend — the type-erased sorter layer beneath the Runtime
+// façade, and its named registry.
+//
+// Every composite oblivious primitive (bin placement, compaction,
+// send-receive, the Section 5 apps, the PRAM simulations) delegates its
+// sorts to a SorterBackend instead of a compile-time template policy, so a
+// Table 2 configuration is a *name*:
+//
+//   auto rt = dopar::Runtime::builder().backend("odd_even").build();
+//   rt.sort(a, dopar::SortOptions{.backend = "osort"});   // per-call
+//
+// Built-in names: "bitonic_ca" (default; cache-agnostic bitonic, Theorem
+// E.1), "bitonic" (depth-first recursive bitonic), "naive_bitonic"
+// (layer-by-layer PRAM schedule — the "prior best" columns), "odd_even"
+// (Batcher network, AKS stand-in), "osort" (the full oblivious sort of
+// Theorem 3.2 — the Table 2 sorting-bound rows). The registry is open:
+// register_backend() makes a future SPMS backend one call.
+//
+// Interface shape: the primitives express every order either as the
+// canonical "Elem ascending by key" (which a full oblivious *sort* such as
+// osort or SPMS can realize directly) or as a comparison over one of a
+// closed set of fixed-size scratch records (realizable by any comparison
+// network; a sort-only backend falls back to its network for these — the
+// paper's composite primitives assume exactly "an O(1) number of AKS
+// sorts" there). Comparators are passed as stateless function pointers so
+// the virtual boundary stays type-safe without templating the interface.
+
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/routed.hpp"
+#include "obl/binitem.hpp"
+#include "obl/elem.hpp"
+#include "obl/sorter.hpp"
+#include "sim/tracked.hpp"
+
+namespace dopar {
+
+/// Stateless comparator, type-erased to a plain function pointer.
+template <class T>
+using LessFn = bool (*)(const T&, const T&);
+
+/// Erase a stateless comparator type to a LessFn<T>. The argument's value
+/// is discarded — the lambda default-constructs Less — so comparators with
+/// configured state are rejected at compile time rather than silently
+/// compared with default-constructed members.
+template <class T, class Less>
+constexpr LessFn<T> erase_less(Less) {
+  static_assert(std::is_empty_v<Less>,
+                "erase_less: comparator must be stateless (its state would "
+                "be dropped by the type erasure)");
+  return [](const T& a, const T& b) { return Less{}(a, b); };
+}
+
+/// Type-erased oblivious sorter. Implementations must be thread-safe:
+/// one backend instance may serve concurrent pipelines.
+class SorterBackend {
+ public:
+  virtual ~SorterBackend() = default;
+
+  /// Registry name this instance was created under.
+  virtual std::string_view name() const = 0;
+
+  /// Canonical order: Elem ascending by key — the order every composite
+  /// primitive packs its scratch phases into. Sort-algorithm backends
+  /// ("osort", a future SPMS) realize it with the full oblivious sort;
+  /// network backends run their comparator network.
+  virtual void sort(const slice<obl::Elem>& a) const = 0;
+
+  /// Comparison sorts over the closed set of fixed-size records the
+  /// primitives use for orders that are not a single Elem key. Realized by
+  /// the backend's comparator network.
+  virtual void sort(const slice<obl::Elem>& a,
+                    LessFn<obl::Elem> less) const = 0;
+  virtual void sort(const slice<obl::BinItem<obl::Elem>>& a,
+                    LessFn<obl::BinItem<obl::Elem>> less) const = 0;
+  virtual void sort(const slice<obl::BinItem<core::Routed>>& a,
+                    LessFn<obl::BinItem<core::Routed>> less) const = 0;
+};
+
+/// Backend built from a comparator-network policy (obl/sorter.hpp): every
+/// order, including the canonical one, runs the network.
+template <class Net>
+class NetworkBackend final : public SorterBackend {
+ public:
+  explicit NetworkBackend(std::string name) : name_(std::move(name)) {}
+
+  std::string_view name() const override { return name_; }
+
+  void sort(const slice<obl::Elem>& a) const override {
+    Net{}(a, obl::ByKey{});
+  }
+  void sort(const slice<obl::Elem>& a,
+            LessFn<obl::Elem> less) const override {
+    Net{}(a, less);
+  }
+  void sort(const slice<obl::BinItem<obl::Elem>>& a,
+            LessFn<obl::BinItem<obl::Elem>> less) const override {
+    Net{}(a, less);
+  }
+  void sort(const slice<obl::BinItem<core::Routed>>& a,
+            LessFn<obl::BinItem<core::Routed>> less) const override {
+    Net{}(a, less);
+  }
+
+ private:
+  std::string name_;
+};
+
+/// The backend primitives fall back to when none is supplied explicitly
+/// (engine-level callers; the Runtime always passes its configured one).
+/// Deliberately a fixed instance, NOT a registry lookup: the default path
+/// takes no lock and cannot be broken by register_backend() replacing the
+/// "bitonic_ca" entry — replacement affects *named* resolution only.
+const SorterBackend& default_backend();
+
+/// Configuration a factory receives when the registry instantiates a
+/// backend: the seed feeding any internal randomness (Runtime derives it
+/// from its master seed, keeping seed-determinism), and the pipeline
+/// parameters/variant for backends that run the full oblivious sort.
+/// Network backends ignore all of it.
+struct BackendConfig {
+  uint64_t seed = 0x05027;
+  core::Variant variant = core::Variant::Theoretical;
+  core::SortParams params{};
+};
+
+using BackendFactory =
+    std::function<std::shared_ptr<const SorterBackend>(const BackendConfig&)>;
+
+/// Thrown on a backend name the registry does not know; the message lists
+/// the registered names.
+struct UnknownBackend : std::invalid_argument {
+  explicit UnknownBackend(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Register (or replace) a named backend. Thread-safe.
+void register_backend(std::string_view name, BackendFactory factory);
+
+/// Look up a registered factory by name. Throws UnknownBackend. Lets
+/// callers validate a name *before* committing side effects (the Runtime
+/// resolves per-call overrides this way so a typo'd name cannot advance
+/// its seed stream and break call-for-call replay).
+BackendFactory find_backend_factory(std::string_view name);
+
+/// Instantiate a registered backend by name. Throws UnknownBackend.
+std::shared_ptr<const SorterBackend> make_backend(
+    std::string_view name, const BackendConfig& config = {});
+
+/// Names currently registered, sorted.
+std::vector<std::string> backend_names();
+
+/// Per-call override for the sorter-parametric Runtime methods. Empty
+/// fields inherit the Runtime's configuration.
+///
+///   rt.sort(a, SortOptions{.backend = "osort"});
+///
+/// `variant` applies to sort()/sort_records() (which comparison phase the
+/// full sort runs); `params` to the ORBA/ORP pipeline parameters of
+/// sort/permute/bin_assign and of an "osort" backend's internal sorts.
+/// `backend` is owning (std::string): options objects outlive the
+/// expressions that build them, so a dynamically composed name must not
+/// dangle.
+struct SortOptions {
+  std::string backend{};
+  std::optional<core::Variant> variant{};
+  std::optional<core::SortParams> params{};
+};
+
+}  // namespace dopar

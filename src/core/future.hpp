@@ -1,0 +1,48 @@
+#pragma once
+// dopar::Future<T> — the result handle returned by Runtime::submit().
+//
+// A thin, move-only wrapper over std::future: get() blocks until the
+// submitted job finishes and returns its value, rethrowing any exception
+// the job body threw (including the oblivious primitives' retryable
+// failure types if they escape the job). The wrapper exists so the façade
+// vocabulary stays dopar-owned and can grow (then-chaining, cancellation)
+// without re-plumbing call sites.
+
+#include <chrono>
+#include <future>
+#include <utility>
+
+namespace dopar {
+
+class Runtime;
+
+template <class T>
+class Future {
+ public:
+  Future() = default;
+  Future(Future&&) noexcept = default;
+  Future& operator=(Future&&) noexcept = default;
+
+  /// Block until the job completes; returns its result or rethrows its
+  /// exception. Consumes the future (one-shot, like std::future).
+  T get() { return fut_.get(); }
+
+  /// Block until the job completes without consuming the result.
+  void wait() const { fut_.wait(); }
+
+  template <class Rep, class Period>
+  std::future_status wait_for(
+      const std::chrono::duration<Rep, Period>& d) const {
+    return fut_.wait_for(d);
+  }
+
+  /// False for a default-constructed or already-consumed handle.
+  bool valid() const { return fut_.valid(); }
+
+ private:
+  friend class Runtime;
+  explicit Future(std::future<T> f) : fut_(std::move(f)) {}
+  std::future<T> fut_;
+};
+
+}  // namespace dopar

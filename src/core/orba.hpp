@@ -24,42 +24,16 @@
 #include <cassert>
 #include <cstdint>
 
+#include "core/backend.hpp"
 #include "core/params.hpp"
+#include "core/routed.hpp"
 #include "forkjoin/api.hpp"
 #include "obl/binplace.hpp"
 #include "obl/elem.hpp"
-#include "obl/sorter.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
-#include "util/compat.hpp"
 #include "util/rng.hpp"
 #include "util/transpose.hpp"
-
-namespace dopar::core {
-
-/// A routed record: the user element plus its random bin label.
-struct Routed {
-  uint64_t label = 0;
-  obl::Elem e;
-
-  static Routed filler() {
-    Routed r;
-    r.label = ~uint64_t{0};
-    r.e = obl::Elem::filler();
-    return r;
-  }
-};
-static_assert(sizeof(Routed) == 40);
-
-}  // namespace dopar::core
-
-namespace dopar::obl {
-template <>
-struct RecordTraits<core::Routed> {
-  static bool is_filler(const core::Routed& r) { return r.e.is_filler(); }
-  static core::Routed filler() { return core::Routed::filler(); }
-};
-}  // namespace dopar::obl
 
 namespace dopar::core {
 
@@ -68,9 +42,9 @@ namespace detail {
 /// Distribute `data` (= nbins bins of Z records) into nbins output bins
 /// according to label bits [bit_lo, bit_lo + log2 nbins) counted from the
 /// most significant of `total_bits`.
-template <class Sorter>
-void rec_orba(const slice<Routed>& data, size_t nbins, size_t Z, size_t gamma,
-              unsigned bit_lo, unsigned total_bits, const Sorter& sorter) {
+inline void rec_orba(const slice<Routed>& data, size_t nbins, size_t Z,
+                     size_t gamma, unsigned bit_lo, unsigned total_bits,
+                     const SorterBackend& sorter) {
   const unsigned bits_here = util::log2_exact(nbins);
   if (nbins <= gamma) {
     const unsigned drop = total_bits - bit_lo - bits_here;
@@ -130,9 +104,9 @@ namespace detail {
 /// beta = 2n/Z bins padded to capacity Z. `seed` drives the label choice;
 /// fresh seeds give fresh assignments. Throws obl::BinOverflow with
 /// negligible, input-independent probability.
-template <class Sorter = obl::BitonicSorter>
-OrbaOutput orba(const slice<obl::Elem>& in, uint64_t seed,
-                const SortParams& params, const Sorter& sorter = {}) {
+inline OrbaOutput orba(const slice<obl::Elem>& in, uint64_t seed,
+                       const SortParams& params,
+                       const SorterBackend& sorter = default_backend()) {
   const size_t n = in.size();
   assert(util::is_pow2(n));
   const size_t Z = params.Z;
@@ -171,13 +145,5 @@ OrbaOutput orba(const slice<obl::Elem>& in, uint64_t seed,
 }
 
 }  // namespace detail
-
-/// Deprecated shim kept for one PR; use dopar::Runtime::bin_assign.
-template <class Sorter = obl::BitonicSorter>
-DOPAR_DEPRECATED("use dopar::Runtime::bin_assign")
-OrbaOutput orba(const slice<obl::Elem>& in, uint64_t seed,
-                const SortParams& params, const Sorter& sorter = {}) {
-  return detail::orba(in, seed, params, sorter);
-}
 
 }  // namespace dopar::core

@@ -21,6 +21,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/backend.hpp"
 #include "core/orba.hpp"
 #include "core/params.hpp"
 #include "forkjoin/api.hpp"
@@ -28,7 +29,6 @@
 #include "obl/compact.hpp"
 #include "obl/scan.hpp"
 #include "sim/tracked.hpp"
-#include "util/compat.hpp"
 #include "util/rng.hpp"
 
 namespace dopar::core {
@@ -51,10 +51,10 @@ struct ByLabel {
 /// One ORP attempt. Returns the permuted elements in `out` (|out| = |in|).
 /// Throws obl::BinOverflow on bin overflow; retries are orchestrated by
 /// orp() below.
-template <class Sorter = obl::BitonicSorter>
-void orp_attempt(const slice<obl::Elem>& in, const slice<obl::Elem>& out,
-                 uint64_t seed, const SortParams& params,
-                 const Sorter& sorter = {}) {
+inline void orp_attempt(const slice<obl::Elem>& in,
+                        const slice<obl::Elem>& out, uint64_t seed,
+                        const SortParams& params,
+                        const SorterBackend& sorter = default_backend()) {
   const size_t n = in.size();
   assert(out.size() == n);
   if (n <= 1) {
@@ -117,9 +117,9 @@ void orp_attempt(const slice<obl::Elem>& in, const slice<obl::Elem>& out,
 /// Engine behind Runtime::permute: obliviously permute `in` into `out`
 /// uniformly at random (|out| = |in|, any length — power-of-two padding is
 /// internal; real elements come out first, input fillers trail).
-template <class Sorter = obl::BitonicSorter>
-void orp(const slice<obl::Elem>& in, const slice<obl::Elem>& out,
-         uint64_t seed, SortParams params = {}, const Sorter& sorter = {}) {
+inline void orp(const slice<obl::Elem>& in, const slice<obl::Elem>& out,
+                uint64_t seed, SortParams params = {},
+                const SorterBackend& sorter = default_backend()) {
   using obl::Elem;
   const size_t n = in.size();
   const size_t padded = util::pow2_ceil(n < 2 ? 2 : n);
@@ -145,13 +145,5 @@ void orp(const slice<obl::Elem>& in, const slice<obl::Elem>& out,
 }
 
 }  // namespace detail
-
-/// Deprecated shim kept for one PR; use dopar::Runtime::permute.
-template <class Sorter = obl::BitonicSorter>
-DOPAR_DEPRECATED("use dopar::Runtime::permute")
-void orp(const slice<obl::Elem>& in, const slice<obl::Elem>& out,
-         uint64_t seed, SortParams params = {}, const Sorter& sorter = {}) {
-  detail::orp(in, out, seed, params, sorter);
-}
 
 }  // namespace dopar::core

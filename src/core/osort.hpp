@@ -16,15 +16,25 @@
 // patterns; the comparison phase's pattern depends only on the *random
 // ranks* of the input, which are uniform, hence simulatable (paper §C.4).
 //
-// Input of any length is accepted (power-of-two padding is internal); keys
-// must be < 2^64 - 1 (the filler sentinel) and the input must not carry
-// filler flags. Elem::extra is clobbered (it holds the permuted position
-// used for tie-breaking).
+// Input of any length is accepted (power-of-two padding is internal).
+// Elem::extra is clobbered (it holds the permuted position used for
+// tie-breaking). Keys equal to the filler sentinel 2^64 - 1 and
+// filler-flagged records ARE accepted: ORP routes input fillers like any
+// record (real elements first, fillers trailing), and the comparison
+// phase orders by (key, permuted position), so sentinel-keyed records
+// sort after every smaller key with arbitrary relative order among
+// themselves. The composite primitives' sink conventions (send-receive
+// re-keys absorbed records to the sentinel; scratch arrays carry filler
+// padding) rely on exactly this, so it is contract, not accident.
+//
+// The full sort is itself available as the "osort" entry of the sorter-
+// backend registry (core/backend.cpp), which is how the composite
+// primitives realize their Table 2 sorting-bound rows.
 
-#include <atomic>
 #include <cassert>
 #include <cstdint>
 
+#include "core/backend.hpp"
 #include "core/orp.hpp"
 #include "core/params.hpp"
 #include "core/recsort.hpp"
@@ -33,24 +43,18 @@
 #include "obl/elem.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
-#include "util/compat.hpp"
 
 namespace dopar::core {
-
-enum class Variant {
-  Theoretical,  ///< ORP + parallel merge sort (SPMS stand-in)
-  Practical,    ///< ORP + REC-SORT (self-contained, Section E)
-};
 
 namespace detail {
 
 /// Engine behind Runtime::sort: obliviously sort `a` by key, ascending.
 /// See header comment for the contract. `seed` drives all internal
-/// randomness (the Runtime derives it from its master seed).
-template <class Sorter = obl::BitonicSorter>
-void osort(const slice<obl::Elem>& a, uint64_t seed,
-           Variant variant = Variant::Practical, SortParams params = {},
-           const Sorter& sorter = {}) {
+/// randomness (the Runtime derives it from its master seed). `sorter`
+/// realizes the pipeline's internal bin-placement sorts.
+inline void osort(const slice<obl::Elem>& a, uint64_t seed,
+                  Variant variant = Variant::Practical, SortParams params = {},
+                  const SorterBackend& sorter = default_backend()) {
   using obl::Elem;
   const size_t n = a.size();
   if (n <= 1) return;
@@ -101,57 +105,5 @@ void osort(const slice<obl::Elem>& a, uint64_t seed,
 }
 
 }  // namespace detail
-
-/// Deprecated shim kept for one PR; use dopar::Runtime::sort (or the
-/// detail engine when composing new primitives).
-template <class Sorter = obl::BitonicSorter>
-DOPAR_DEPRECATED("use dopar::Runtime::sort")
-void osort(const slice<obl::Elem>& a, uint64_t seed,
-           Variant variant = Variant::Practical, SortParams params = {},
-           const Sorter& sorter = {}) {
-  detail::osort(a, seed, variant, params, sorter);
-}
-
-/// Sorter policy that plugs the full oblivious sort into the composite
-/// primitives (send-receive, PRAM simulation, application pipelines),
-/// realizing their "sorting bound" rows in Table 2. Only Elem-by-key
-/// ascending orders are supported — exactly what those primitives request.
-///
-/// Thread-safe: composite primitives may invoke operator() from pool
-/// workers concurrently, so the per-call counter that freshens the seed is
-/// atomic (a plain counter was a data race — and a torn/duplicated counter
-/// would reuse seeds across concurrent sorts).
-struct OsortSorter {
-  uint64_t seed = 0x05027;
-  Variant variant = Variant::Theoretical;
-
-  OsortSorter() = default;
-  explicit OsortSorter(uint64_t s, Variant v = Variant::Theoretical)
-      : seed(s), variant(v) {}
-  OsortSorter(const OsortSorter& o)
-      : seed(o.seed),
-        variant(o.variant),
-        calls(o.calls.load(std::memory_order_relaxed)) {}
-  OsortSorter& operator=(const OsortSorter& o) {
-    seed = o.seed;
-    variant = o.variant;
-    calls.store(o.calls.load(std::memory_order_relaxed),
-                std::memory_order_relaxed);
-    return *this;
-  }
-
-  void operator()(const slice<obl::Elem>& a, obl::ByKey) const {
-    const uint64_t call =
-        calls.fetch_add(1, std::memory_order_relaxed) + 1;
-    detail::osort(a, util::hash_rand(seed, call), variant);
-  }
-
-  uint64_t call_count() const {
-    return calls.load(std::memory_order_relaxed);
-  }
-
- private:
-  mutable std::atomic<uint64_t> calls{0};
-};
 
 }  // namespace dopar::core

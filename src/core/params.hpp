@@ -14,6 +14,13 @@
 
 namespace dopar::core {
 
+/// Which comparison phase the full oblivious sort runs after the random
+/// permutation (see core/osort.hpp for the pipeline).
+enum class Variant {
+  Theoretical,  ///< ORP + parallel merge sort (SPMS stand-in)
+  Practical,    ///< ORP + REC-SORT (self-contained, Section E)
+};
+
 struct SortParams {
   size_t Z = 0;        ///< ORBA bin capacity (power of two); 0 = auto
   size_t gamma = 0;    ///< butterfly branching factor (power of two); 0 = auto

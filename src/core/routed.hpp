@@ -1,0 +1,36 @@
+#pragma once
+// The routed record of REC-ORBA: a user element plus its random bin label
+// (split out of orba.hpp so the sorter-backend interface can name
+// BinItem<Routed> — the record REC-ORBA's bin placements sort — without
+// depending on the routing algorithm).
+
+#include <cstdint>
+
+#include "obl/binitem.hpp"
+#include "obl/elem.hpp"
+
+namespace dopar::core {
+
+/// A routed record: the user element plus its random bin label.
+struct Routed {
+  uint64_t label = 0;
+  obl::Elem e;
+
+  static Routed filler() {
+    Routed r;
+    r.label = ~uint64_t{0};
+    r.e = obl::Elem::filler();
+    return r;
+  }
+};
+static_assert(sizeof(Routed) == 40);
+
+}  // namespace dopar::core
+
+namespace dopar::obl {
+template <>
+struct RecordTraits<core::Routed> {
+  static bool is_filler(const core::Routed& r) { return r.e.is_filler(); }
+  static core::Routed filler() { return core::Routed::filler(); }
+};
+}  // namespace dopar::obl

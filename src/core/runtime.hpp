@@ -15,7 +15,12 @@
 //   * its fork-join pool (threads > 1). Pools are installed per-thread
 //     (fj::ScopedPool) for the duration of each method call, so two
 //     Runtimes with independent pools can serve different pipelines in the
-//     same process — the old global Pool::instance() singleton is gone.
+//     same process.
+//   * its sorter backend: the named entry of the backend registry
+//     (core/backend.hpp) every sorter-parametric primitive routes through.
+//     Builder .backend("odd_even") selects it per Runtime; every such
+//     method also takes a dopar::SortOptions whose .backend overrides it
+//     per call (a Table 2 row is one argument, not a rebuild).
 //   * its measurement session (builder .analytic()/.cache()/.trace()).
 //     An instrumented Runtime executes serially on the analytic executor
 //     (exact span, deterministic traces) and exposes the totals via
@@ -25,21 +30,33 @@
 //     arguments anymore, and two Runtimes built identically replay
 //     identical randomness call-for-call (seed-determinism).
 //
-// Thread-safety: method calls on one Runtime are serialized by an internal
-// mutex; use one Runtime per concurrent pipeline (they are cheap — a pool
-// and a few words). Determinism holds per Runtime for a deterministic
-// sequence of method calls.
+// Async submission: submit(fn) enqueues fn onto the Runtime's own worker
+// threads and returns a dopar::Future<T>. The job runs with the Runtime's
+// pool installed thread-locally (as with_env does per method call), so a
+// job body typically just calls Runtime methods; several submitted
+// pipelines share the Runtime, their primitive calls serialize internally,
+// and everything between primitives (input prep, result assembly,
+// client-side reordering) overlaps. Exceptions propagate through
+// Future::get().
 //
-// The pre-façade free functions (core::osort, core::orp, obl::send_receive,
-// apps::*_oblivious) remain as deprecated shims for one PR; see README.md
-// for the migration table.
+// Thread-safety: method calls on one Runtime are serialized by an internal
+// mutex; submit() may be called from any thread. Determinism holds per
+// Runtime for a deterministic sequence of method calls (concurrent
+// submitted pipelines draw seeds in completion order — give each pipeline
+// its own Runtime when replayability across pipelines matters).
 
 #include <atomic>
 #include <cassert>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -51,6 +68,8 @@
 #include "apps/euler.hpp"
 #include "apps/listrank.hpp"
 #include "apps/msf.hpp"
+#include "core/backend.hpp"
+#include "core/future.hpp"
 #include "core/orba.hpp"
 #include "core/orp.hpp"
 #include "core/osort.hpp"
@@ -59,7 +78,6 @@
 #include "obl/aggregate.hpp"
 #include "obl/elem.hpp"
 #include "obl/sendrecv.hpp"
-#include "obl/sorter.hpp"
 #include "sim/session.hpp"
 #include "sim/tracked.hpp"
 #include "util/rng.hpp"
@@ -70,7 +88,8 @@ class Runtime {
  public:
   /// Fluent configuration. Every setter returns *this; build() yields the
   /// Runtime (constructed in place — Runtime itself is pinned to its
-  /// address because the pool and session must not move under workers).
+  /// address because the pool, session and submit workers must not move
+  /// under workers).
   class Builder {
    public:
     /// Total worker parallelism for native execution (the calling thread
@@ -96,6 +115,13 @@ class Runtime {
     /// Default sort variant for sort()/sort_records().
     Builder& variant(core::Variant v) {
       variant_ = v;
+      return *this;
+    }
+    /// Named sorter backend every sorter-parametric primitive routes
+    /// through (see core/backend.hpp for the built-in names). build()
+    /// throws UnknownBackend for a name the registry does not know.
+    Builder& backend(std::string_view name) {
+      backend_name_ = std::string(name);
       return *this;
     }
     /// Work/span accounting (serial analytic execution).
@@ -127,6 +153,7 @@ class Runtime {
     uint64_t seed_ = 0xd0'9a12'5eedULL;
     core::SortParams params_{};
     core::Variant variant_ = core::Variant::Practical;
+    std::string backend_name_ = "bitonic_ca";
     bool analytic_ = false;
     uint64_t cache_m_ = 0;
     uint64_t cache_b_ = 64;
@@ -138,56 +165,81 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
+  ~Runtime() {
+    {
+      std::lock_guard<std::mutex> lk(jobs_m_);
+      jobs_closed_ = true;
+    }
+    jobs_cv_.notify_all();
+    for (std::thread& t : submit_threads_) t.join();
+  }
+
   // ---- oblivious primitives (paper Sections 3-4) ----------------------
 
   /// Obliviously sort `a` by key, ascending (Theorem 3.2 pipeline).
-  void sort(const slice<obl::Elem>& a) { sort(a, variant_); }
-  void sort(const slice<obl::Elem>& a, core::Variant v) {
+  void sort(const slice<obl::Elem>& a, const SortOptions& opts = {}) {
+    const auto sorter = resolve(opts);
     const uint64_t s = fresh_seed();
-    with_env([&] { core::detail::osort(a, s, v, params_); });
+    with_env([&] {
+      core::detail::osort(a, s, opts.variant.value_or(variant_),
+                          opts.params.value_or(params_), *sorter);
+    });
+  }
+  void sort(const slice<obl::Elem>& a, core::Variant v) {
+    sort(a, SortOptions{.backend = {}, .variant = v, .params = {}});
   }
 
   /// Obliviously permute `in` into `out` uniformly at random (ORP).
-  void permute(const slice<obl::Elem>& in, const slice<obl::Elem>& out) {
+  void permute(const slice<obl::Elem>& in, const slice<obl::Elem>& out,
+               const SortOptions& opts = {}) {
+    const auto sorter = resolve(opts);
     const uint64_t s = fresh_seed();
-    with_env([&] { core::detail::orp(in, out, s, params_); });
+    with_env([&] {
+      core::detail::orp(in, out, s, opts.params.value_or(params_), *sorter);
+    });
   }
 
   /// Oblivious random bin assignment (REC-ORBA). |in| must be a power of
   /// two and at least the bin capacity Z.
-  core::OrbaOutput bin_assign(const slice<obl::Elem>& in) {
-    core::SortParams p = params_;
+  core::OrbaOutput bin_assign(const slice<obl::Elem>& in,
+                              const SortOptions& opts = {}) {
+    core::SortParams p = opts.params.value_or(params_);
     if (p.Z == 0) p = core::SortParams::auto_for(in.size());
+    const auto sorter = resolve(opts);
     const uint64_t s = fresh_seed();
     core::OrbaOutput out;
-    with_env([&] { out = core::detail::orba(in, s, p); });
+    with_env([&] { out = core::detail::orba(in, s, p, *sorter); });
     return out;
   }
 
   /// Oblivious routing: sources (distinct keys) feed receivers; results in
   /// original receiver order (kNotFound flags misses).
-  template <class Sorter = obl::BitonicSorter>
   void send_receive(const slice<obl::Elem>& sources,
                     const slice<obl::Elem>& dests,
                     const slice<obl::Elem>& results,
-                    const Sorter& sorter = {}) {
-    with_env([&] { obl::detail::send_receive(sources, dests, results, sorter); });
+                    const SortOptions& opts = {}) {
+    const auto sorter = resolve(opts);
+    with_env([&] {
+      obl::detail::send_receive(sources, dests, results, *sorter);
+    });
   }
 
   /// Batch-oblivious table read: out[i] = table[addrs[i]].
   void gather(const slice<uint64_t>& table, const slice<uint64_t>& addrs,
-              const slice<uint64_t>& out) {
-    with_env([&] { apps::gather(table, addrs, out); });
+              const slice<uint64_t>& out, const SortOptions& opts = {}) {
+    const auto sorter = resolve(opts);
+    with_env([&] { apps::gather(table, addrs, out, *sorter); });
   }
 
   /// Batch-oblivious conflict-resolved table write (minimum proposal wins).
   void scatter_min(const slice<uint64_t>& table,
                    const slice<uint64_t>& addrs,
                    const slice<uint64_t>& values,
-                   const slice<uint64_t>& live, bool combine_min = false) {
+                   const slice<uint64_t>& live, bool combine_min = false,
+                   const SortOptions& opts = {}) {
+    const auto sorter = resolve(opts);
     with_env([&] {
-      apps::scatter_min(table, addrs, values, live, obl::BitonicSorter{},
-                        combine_min);
+      apps::scatter_min(table, addrs, values, live, *sorter, combine_min);
     });
   }
 
@@ -207,12 +259,16 @@ class Runtime {
   /// layout, and no default constructor — only copyability. Ties are
   /// broken by the internal random permutation (the order is not stable).
   template <class Rec, class KeyFn>
-  void sort_records(std::span<Rec> recs, KeyFn&& key_of) {
+  void sort_records(std::span<Rec> recs, KeyFn&& key_of,
+                    const SortOptions& opts = {}) {
     static_assert(
         std::is_convertible_v<std::invoke_result_t<KeyFn&, const Rec&>,
                               uint64_t>,
         "sort_records: key_of(rec) must yield an unsigned 64-bit sort key");
     const size_t n = recs.size();
+    // Validate the per-call backend name even when the input is trivially
+    // sorted — a typo'd name must throw regardless of input size.
+    const auto sorter = resolve(opts);
     if (n <= 1) return;
     const uint64_t s = fresh_seed();
     std::vector<uint64_t> order(n);
@@ -227,7 +283,8 @@ class Runtime {
         e.payload = i;
         keys[i] = e;
       });
-      core::detail::osort(keys, s, variant_, params_);
+      core::detail::osort(keys, s, opts.variant.value_or(variant_),
+                          opts.params.value_or(params_), *sorter);
       fj::for_range(0, n, fj::kDefaultGrain,
                     [&](size_t i) { order[i] = keys[i].payload; });
     });
@@ -243,59 +300,144 @@ class Runtime {
   // ---- Section 5 applications -----------------------------------------
 
   /// Oblivious list ranking: distance (weighted) to the list tail.
-  std::vector<uint64_t> list_rank(const std::vector<uint64_t>& succ) {
+  std::vector<uint64_t> list_rank(const std::vector<uint64_t>& succ,
+                                  const SortOptions& opts = {}) {
+    const auto sorter = resolve(opts);
     const uint64_t s = fresh_seed();
     std::vector<uint64_t> out;
-    with_env([&] { out = apps::detail::list_rank(succ, s); });
+    with_env([&] { out = apps::detail::list_rank(succ, s, *sorter); });
     return out;
   }
   std::vector<uint64_t> list_rank(const std::vector<uint64_t>& succ,
-                                  const std::vector<uint64_t>& weight) {
+                                  const std::vector<uint64_t>& weight,
+                                  const SortOptions& opts = {}) {
+    const auto sorter = resolve(opts);
     const uint64_t s = fresh_seed();
     std::vector<uint64_t> out;
-    with_env([&] { out = apps::detail::list_rank(succ, weight, s); });
+    with_env(
+        [&] { out = apps::detail::list_rank(succ, weight, s, *sorter); });
     return out;
   }
 
   /// Oblivious Euler tour of an unrooted tree, rooted at `root`.
   std::vector<uint64_t> euler_tour(const std::vector<apps::Edge>& edges,
-                                   uint32_t root) {
+                                   uint32_t root,
+                                   const SortOptions& opts = {}) {
+    const auto sorter = resolve(opts);
     const uint64_t s = fresh_seed();
     std::vector<uint64_t> out;
-    with_env([&] { out = apps::detail::euler_tour(edges, root, s); });
+    with_env(
+        [&] { out = apps::detail::euler_tour(edges, root, s, *sorter); });
     return out;
   }
 
   /// Parent / depth / preorder / subtree size for every vertex.
   apps::TreeFunctions tree_functions(const std::vector<apps::Edge>& edges,
-                                     uint32_t root) {
+                                     uint32_t root,
+                                     const SortOptions& opts = {}) {
+    const auto sorter = resolve(opts);
     const uint64_t s = fresh_seed();
     apps::TreeFunctions out;
-    with_env([&] { out = apps::detail::tree_functions(edges, root, s); });
+    with_env(
+        [&] { out = apps::detail::tree_functions(edges, root, s, *sorter); });
     return out;
   }
 
   /// Oblivious connected components (label = min vertex id).
   std::vector<uint64_t> connected_components(
-      size_t n, const std::vector<apps::GEdge>& edges) {
+      size_t n, const std::vector<apps::GEdge>& edges,
+      const SortOptions& opts = {}) {
+    const auto sorter = resolve(opts);
     std::vector<uint64_t> out;
-    with_env([&] { out = apps::detail::connected_components(n, edges); });
+    with_env(
+        [&] { out = apps::detail::connected_components(n, edges, *sorter); });
     return out;
   }
 
   /// Oblivious minimum spanning forest (0/1 flag per input edge).
-  std::vector<uint8_t> msf(size_t n, const std::vector<apps::GEdge>& edges) {
+  std::vector<uint8_t> msf(size_t n, const std::vector<apps::GEdge>& edges,
+                           const SortOptions& opts = {}) {
+    const auto sorter = resolve(opts);
     std::vector<uint8_t> out;
-    with_env([&] { out = apps::detail::msf(n, edges); });
+    with_env([&] { out = apps::detail::msf(n, edges, *sorter); });
     return out;
   }
 
   /// Oblivious expression-tree evaluation by rake contraction.
-  uint64_t tree_eval(const apps::ExprTree& t) {
+  uint64_t tree_eval(const apps::ExprTree& t, const SortOptions& opts = {}) {
+    const auto sorter = resolve(opts);
     uint64_t out = 0;
-    with_env([&] { out = apps::detail::tree_eval(t); });
+    with_env([&] { out = apps::detail::tree_eval(t, *sorter); });
     return out;
   }
+
+  // ---- async submission ------------------------------------------------
+
+  /// Enqueue `fn` on this Runtime's submission workers and return a
+  /// Future for its result. A job body drives parallelism by calling
+  /// Runtime methods (each installs and runs the pool, as every method
+  /// call does); direct fj:: primitives in the body execute serially,
+  /// exactly as on any other non-worker thread. Up to kMaxSubmitWorkers
+  /// jobs execute concurrently, their primitive calls serializing on the
+  /// Runtime while everything in between overlaps.
+  /// Exceptions thrown by `fn` surface at Future::get(). Jobs still
+  /// queued when the Runtime is destroyed are executed (drained) first.
+  ///
+  /// Do NOT block inside a job on the Future of another submitted job:
+  /// the worker set is capped at kMaxSubmitWorkers, so a wait-chain
+  /// longer than the cap deadlocks (the awaited job never gets a
+  /// worker). Submit independent pipelines; join their Futures from
+  /// outside, or from a job that only awaits work submitted before it.
+  template <class F>
+  auto submit(F fn) -> Future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [this, fn = std::move(fn)]() mutable -> R {
+          // Make the Runtime's pool this thread's current pool for the
+          // job's duration. Note this alone does not parallelize direct
+          // fj:: calls (the job thread is not a pool worker); Runtime
+          // methods called by the body run the pool themselves.
+          if (pool_) {
+            fj::ScopedPool guard(*pool_);
+            return fn();
+          }
+          return fn();
+        });
+    Future<R> fut(task->get_future());
+    {
+      std::lock_guard<std::mutex> lk(jobs_m_);
+      // Fail fast (also in Release): a job enqueued after shutdown would
+      // never run and its Future would hang forever.
+      if (jobs_closed_) {
+        throw std::logic_error("Runtime::submit: runtime is shutting down");
+      }
+      jobs_.emplace_back([task] { (*task)(); });
+      // Lazily grow the submission worker set while jobs outnumber
+      // workers (capped): a Runtime that never submits pays nothing.
+      if (submit_threads_.size() < kMaxSubmitWorkers &&
+          submit_threads_.size() < jobs_.size() + running_jobs_) {
+        try {
+          submit_threads_.emplace_back([this] { submit_loop(); });
+        } catch (...) {
+          if (submit_threads_.empty()) {
+            // No worker exists to ever run the job: un-queue it and let
+            // the caller see the failure (otherwise the job would be
+            // silently dropped at destruction — or run twice if the
+            // caller resubmitted after catching).
+            jobs_.pop_back();
+            throw;
+          }
+          // Existing workers will drain the queue; only the extra
+          // concurrency is lost.
+        }
+      }
+    }
+    jobs_cv_.notify_one();
+    return fut;
+  }
+
+  /// Maximum number of concurrently executing submitted jobs.
+  static constexpr size_t kMaxSubmitWorkers = 4;
 
   // ---- tracked-buffer helpers -----------------------------------------
 
@@ -345,6 +487,8 @@ class Runtime {
   uint64_t master_seed() const { return seed_; }
   core::SortParams params() const { return params_; }
   core::Variant variant() const { return variant_; }
+  /// The Runtime's configured sorter backend.
+  const SorterBackend& backend() const { return *backend_; }
   /// Seeds drawn so far (one or more per randomized method call).
   uint64_t seeds_drawn() const {
     return seq_.load(std::memory_order_relaxed);
@@ -355,6 +499,13 @@ class Runtime {
 
   explicit Runtime(const Builder& b)
       : seed_(b.seed_), params_(b.params_), variant_(b.variant_) {
+    // Resolve the named backend first: an unknown name must throw before
+    // any thread/session resource exists. The backend's internal seed is
+    // derived from the master seed, so seed-determinism covers it.
+    backend_ = make_backend(
+        b.backend_name_,
+        BackendConfig{util::hash_rand(b.seed_, 0xbac0'5eedULL), b.variant_,
+                      b.params_});
     if (b.analytic_) {
       // The &&-qualified Session builders mutate *this and return it by
       // rvalue reference, so the discarded results still configure `s`
@@ -374,6 +525,21 @@ class Runtime {
   uint64_t fresh_seed() {
     return util::hash_rand(seed_,
                            seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
+
+  /// The backend a call uses: the per-call override if SortOptions names
+  /// one (instantiated with a fresh derived seed, so "osort" overrides
+  /// stay seed-deterministic), else the Runtime's configured backend.
+  /// Throws UnknownBackend on an unregistered name — BEFORE drawing any
+  /// seed, so a rejected call never advances the seed stream and the
+  /// call-for-call replay contract holds across error paths. (Methods
+  /// that draw their own seed call resolve() first for the same reason.)
+  std::shared_ptr<const SorterBackend> resolve(const SortOptions& opts) {
+    if (opts.backend.empty()) return backend_;
+    BackendFactory factory = find_backend_factory(opts.backend);
+    return factory(BackendConfig{fresh_seed(),
+                                 opts.variant.value_or(variant_),
+                                 opts.params.value_or(params_)});
   }
 
   /// Run `f` inside this Runtime's execution environment: measurement
@@ -396,13 +562,37 @@ class Runtime {
     f();
   }
 
+  void submit_loop() {
+    std::unique_lock<std::mutex> lk(jobs_m_);
+    for (;;) {
+      jobs_cv_.wait(lk, [&] { return jobs_closed_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // only when closed
+      std::function<void()> job = std::move(jobs_.front());
+      jobs_.pop_front();
+      ++running_jobs_;
+      lk.unlock();
+      job();  // packaged_task: exceptions land in the future
+      lk.lock();
+      --running_jobs_;
+    }
+  }
+
   uint64_t seed_;
   std::atomic<uint64_t> seq_{0};
   core::SortParams params_;
   core::Variant variant_;
+  std::shared_ptr<const SorterBackend> backend_;
   std::unique_ptr<fj::Pool> pool_;
   std::unique_ptr<sim::Session> session_;
   mutable std::mutex exec_m_;
+
+  // Async submission state (lazily populated by submit()).
+  std::mutex jobs_m_;
+  std::condition_variable jobs_cv_;
+  std::deque<std::function<void()>> jobs_;
+  std::vector<std::thread> submit_threads_;
+  size_t running_jobs_ = 0;
+  bool jobs_closed_ = false;
 };
 
 }  // namespace dopar

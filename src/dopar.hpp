@@ -10,18 +10,24 @@
 //   auto labels = rt.connected_components(n, edges);
 //
 // Everything routes through dopar::Runtime (core/runtime.hpp): a
-// per-pipeline execution context owning its thread pool, its measurement
-// session and its randomness. See README.md for the quickstart and the
-// migration table from the pre-façade free functions (which survive one
-// more PR as deprecated shims).
+// per-pipeline execution context owning its thread pool, its sorter
+// backend (named registry; see core/backend.hpp), its measurement session
+// and its randomness. Async pipelines go through Runtime::submit(), which
+// returns a dopar::Future. See README.md for the quickstart, the backend
+// table and the migration table from the pre-façade free functions
+// (removed in PR 3).
 
+#include "core/backend.hpp"
+#include "core/future.hpp"
 #include "core/runtime.hpp"
 
 namespace dopar {
 
 // Convenience aliases: the façade vocabulary at namespace scope, so
 // applications write dopar::Runtime, dopar::Elem, dopar::Variant,
-// dopar::SortParams, ... without spelunking the layer namespaces.
+// dopar::SortParams, dopar::SortOptions, ... without spelunking the layer
+// namespaces. (SorterBackend, SortOptions, Future, register_backend,
+// make_backend and backend_names already live at namespace dopar scope.)
 using core::SortParams;
 using core::Variant;
 using obl::Elem;

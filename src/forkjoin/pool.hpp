@@ -23,8 +23,6 @@
 #include <type_traits>
 #include <vector>
 
-#include "util/compat.hpp"
-
 namespace dopar::fj {
 
 /// A forked-but-not-yet-joined task. Lives on the forker's stack: fork2
@@ -117,11 +115,6 @@ class Pool {
   /// which owns one pool per runtime). Thread-locality is what lets two
   /// runtimes with independent pools coexist in one process.
   static Pool*& current();
-
-  /// Deprecated alias from the global-singleton era. The pointer has been
-  /// thread-local since the Runtime façade landed; use current().
-  DOPAR_DEPRECATED("use fj::Pool::current() / fj::ScopedPool")
-  static Pool*& instance() { return current(); }
 
   static bool on_worker_thread() { return tls_worker_id() >= 0; }
 

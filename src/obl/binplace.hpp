@@ -17,19 +17,21 @@
 // pattern is a fixed function of (|input|, beta, Z).
 //
 // The routine is generic over the record type R through a Traits policy so
-// REC-ORBA can route (label, element) pairs; RecordTraits<obl::Elem> is the
-// default for plain Elem arrays.
+// REC-ORBA can route (label, element) pairs; RecordTraits<obl::Elem>
+// (obl/binitem.hpp) is the default for plain Elem arrays. The sorts go
+// through the type-erased SorterBackend, so R is limited to the record set
+// the backend interface names (Elem and core::Routed).
 
 #include <cassert>
 #include <cstdint>
-#include <limits>
 #include <stdexcept>
 
+#include "core/backend.hpp"
 #include "forkjoin/api.hpp"
+#include "obl/binitem.hpp"
 #include "obl/elem.hpp"
 #include "obl/oswap.hpp"
 #include "obl/scan.hpp"
-#include "obl/sorter.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
 
@@ -42,35 +44,7 @@ struct BinOverflow : std::runtime_error {
   BinOverflow() : std::runtime_error("oblivious bin placement: bin overflow") {}
 };
 
-/// Traits a record type must provide for bin placement.
-template <class R>
-struct RecordTraits;
-
-template <>
-struct RecordTraits<Elem> {
-  static bool is_filler(const Elem& e) { return e.is_filler(); }
-  static Elem filler() { return Elem::filler(); }
-};
-
 namespace detail {
-
-/// Work record: the user record plus a scratch sort key. The two low bits
-/// of skey encode the class (real=0, temp=1), the rest the bin id; fillers
-/// get the sink key.
-template <class R>
-struct BinItem {
-  R r;
-  uint64_t skey = 0;
-
-  static constexpr uint64_t kSinkKey = std::numeric_limits<uint64_t>::max();
-};
-
-struct BinBySkey {
-  template <class R>
-  bool operator()(const BinItem<R>& a, const BinItem<R>& b) const {
-    return a.skey < b.skey;
-  }
-};
 
 struct HeadSeg {
   uint64_t head_index = 0;
@@ -90,11 +64,11 @@ struct HeadCombine {
 /// Place the real elements of `in` into `out` (|out| = beta*Z; bin b is
 /// out[b*Z, (b+1)*Z)). `group(r)` gives the destination bin of a non-filler
 /// record. Throws BinOverflow if some bin attracts more than Z reals.
-template <class R, class Traits = RecordTraits<R>, class GroupFn,
-          class Sorter = BitonicSorter>
+template <class R, class Traits = RecordTraits<R>, class GroupFn>
 void bin_placement(const slice<R>& in, const slice<R>& out, size_t beta,
-                   size_t Z, const GroupFn& group, const Sorter& sorter = {}) {
-  using Item = detail::BinItem<R>;
+                   size_t Z, const GroupFn& group,
+                   const SorterBackend& sorter = default_backend()) {
+  using Item = BinItem<R>;
   assert(out.size() == beta * Z);
   const size_t n0 = in.size() + beta * Z;
   const size_t n = util::pow2_ceil(n0);
@@ -123,7 +97,7 @@ void bin_placement(const slice<R>& in, const slice<R>& out, size_t beta,
   });
 
   // 2. Sort by (bin, real < temp); fillers sink to the back.
-  sorter(w, detail::BinBySkey{});
+  sorter.sort(w, erase_less<Item>(BinBySkey{}));
 
   // 3. Offset within bin via segmented scan of head positions.
   vec<detail::HeadSeg> segv(n);
@@ -161,7 +135,7 @@ void bin_placement(const slice<R>& in, const slice<R>& out, size_t beta,
   for (size_t i = 0; i < n; ++i) lost += of[i];
   if (lost != 0) throw BinOverflow{};
 
-  sorter(w, detail::BinBySkey{});
+  sorter.sort(w, erase_less<Item>(BinBySkey{}));
 
   // 5. Keep the first beta*Z entries; temps (recognizable as fillers-by-
   // construction) were already materialized as Traits::filler().

@@ -12,10 +12,10 @@
 
 #include <cstdint>
 
+#include "core/backend.hpp"
 #include "forkjoin/api.hpp"
 #include "obl/elem.hpp"
 #include "obl/scan.hpp"
-#include "obl/sorter.hpp"
 #include "sim/tracked.hpp"
 
 namespace dopar::obl {
@@ -23,8 +23,8 @@ namespace dopar::obl {
 /// Stable oblivious compaction: live elements (in their current order) to
 /// the front, fillers to the back. Uses Elem::extra as the stability rank
 /// scratch field (clobbered).
-template <class Sorter = BitonicSorter>
-void compact_oblivious(const slice<Elem>& a, const Sorter& sorter = {}) {
+inline void compact_oblivious(const slice<Elem>& a,
+                              const SorterBackend& sorter = default_backend()) {
   const size_t n = a.size();
   fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
     Elem e = a[i];
@@ -40,7 +40,7 @@ void compact_oblivious(const slice<Elem>& a, const Sorter& sorter = {}) {
       return kx < ky;
     }
   };
-  sorter(a, Less{});
+  sorter.sort(a, erase_less<Elem>(Less{}));
 }
 
 /// Non-oblivious stable compaction; returns the live count. Output: first

@@ -10,10 +10,10 @@
 //   3. sort receivers back to their original order and emit results.
 //
 // All internal sorts are ascending-by-Elem-key (scratch orders are packed
-// into the key field), so ANY oblivious Elem sorter plugs in:
-//   * obl::BitonicSorter (default, self-contained practical configuration),
-//   * core::OsortSorter — the full oblivious sort, realizing the Table 2
-//     bounds: O(n log n) work, Õ(log n) span, O((n/B) log_M n) cache.
+// into the key field), so ANY sorter backend plugs in:
+//   * "bitonic_ca" (default, self-contained practical configuration),
+//   * "osort" — the full oblivious sort, realizing the Table 2 bounds:
+//     O(n log n) work, Õ(log n) span, O((n/B) log_M n) cache.
 //
 // Contract: source/receiver keys < 2^63; receiver count < 2^32. The
 // returned records carry the fetched payload/aux (or kNotFound); their key
@@ -23,14 +23,13 @@
 #include <cstdint>
 #include <limits>
 
+#include "core/backend.hpp"
 #include "forkjoin/api.hpp"
 #include "obl/elem.hpp"
 #include "obl/oswap.hpp"
 #include "obl/scan.hpp"
-#include "obl/sorter.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
-#include "util/compat.hpp"
 
 namespace dopar::obl {
 
@@ -56,9 +55,9 @@ struct SrCombine {
 /// Engine behind Runtime::send_receive: route values from `sources`
 /// (distinct keys; value in payload/aux) to `dests` (requested key in
 /// .key). Writes into `results` (size = |dests|, original receiver order).
-template <class Sorter = BitonicSorter>
-void send_receive(const slice<Elem>& sources, const slice<Elem>& dests,
-                  const slice<Elem>& results, const Sorter& sorter = {}) {
+inline void send_receive(const slice<Elem>& sources, const slice<Elem>& dests,
+                         const slice<Elem>& results,
+                         const SorterBackend& sorter = default_backend()) {
   assert(results.size() == dests.size());
   const size_t ns = sources.size();
   const size_t nd = dests.size();
@@ -93,7 +92,7 @@ void send_receive(const slice<Elem>& sources, const slice<Elem>& dests,
     w[i] = e;
   });
 
-  sorter(w, ByKey{});
+  sorter.sort(w);
 
   // Propagate each key-group's head (a source, if present).
   vec<detail::SrSeg> segv(n);
@@ -128,7 +127,7 @@ void send_receive(const slice<Elem>& sources, const slice<Elem>& dests,
     w[i] = e;
   });
 
-  sorter(w, ByKey{});
+  sorter.sort(w);
 
   fj::for_range(0, nd, fj::kDefaultGrain, [&](size_t i) {
     sim::tick(1);
@@ -139,13 +138,5 @@ void send_receive(const slice<Elem>& sources, const slice<Elem>& dests,
 }
 
 }  // namespace detail
-
-/// Deprecated shim kept for one PR; use dopar::Runtime::send_receive.
-template <class Sorter = BitonicSorter>
-DOPAR_DEPRECATED("use dopar::Runtime::send_receive")
-void send_receive(const slice<Elem>& sources, const slice<Elem>& dests,
-                  const slice<Elem>& results, const Sorter& sorter = {}) {
-  detail::send_receive(sources, dests, results, sorter);
-}
 
 }  // namespace dopar::obl

@@ -1,18 +1,17 @@
 #pragma once
-// Sorter policy used by composite oblivious primitives.
+// Comparator-network policies: the generic comparison sorters that realize
+// the sorts inside the composite oblivious primitives.
 //
-// Sorters are the pluggable backend layer beneath the dopar::Runtime
-// façade (core/runtime.hpp): Runtime methods accept any of these policies
-// (plus core::OsortSorter) where the primitive is sorter-parametric. A
-// named registry with runtime selection is a ROADMAP open item.
-//
-// Bin placement, compaction and send-receive are written against a
-// pluggable "oblivious sorter" so that:
-//   * self-contained/practical configurations use the cache-agnostic
-//     bitonic network (paper Section E — their AKS replacement), and
-//   * the asymptotically-optimal configuration plugs in the full oblivious
-//     sort (core/osort.hpp), realizing the Table 2 sorting-bound rows.
-// A sorter must (a) realize the sorting functionality on power-of-two
+// These are no longer the public plumbing — primitives take the
+// type-erased dopar::SorterBackend (core/backend.hpp), selected by name
+// through the backend registry and dopar::Runtime. The policies here are
+// the network *implementations* those backends wrap:
+//   * BitonicSorter       — cache-agnostic bitonic (paper Theorem E.1),
+//   * PlainBitonicSorter  — depth-first recursive bitonic,
+//   * NaiveBitonicSorter  — literal layer-by-layer PRAM schedule
+//                           (the Table 2 / Theorem E.1 "prior best"),
+//   * OddEvenSorter       — Batcher odd-even merge (AKS stand-in).
+// A network must (a) realize the sorting functionality on power-of-two
 // arrays and (b) have an input-independent access-pattern distribution.
 
 #include "obl/bitonic.hpp"
@@ -27,6 +26,15 @@ struct BitonicSorter {
   template <class T, class Less>
   void operator()(const slice<T>& a, const Less& less) const {
     bitonic_sort_ca(a, /*up=*/true, less);
+  }
+};
+
+/// Depth-first recursive bitonic sorter (same network as BitonicSorter,
+/// scheduled without the transpose recursion — cache O((n/B) log^2 n)).
+struct PlainBitonicSorter {
+  template <class T, class Less>
+  void operator()(const slice<T>& a, const Less& less) const {
+    bitonic_sort(a, /*up=*/true, less);
   }
 };
 

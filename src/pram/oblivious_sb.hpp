@@ -23,11 +23,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "forkjoin/api.hpp"
 #include "obl/elem.hpp"
 #include "obl/oswap.hpp"
 #include "obl/sendrecv.hpp"
-#include "obl/sorter.hpp"
 #include "pram/program.hpp"
 #include "sim/session.hpp"
 #include "sim/tracked.hpp"
@@ -39,14 +39,13 @@ namespace dopar::pram {
 /// space (callers keep space() < 2^62).
 inline constexpr uint64_t kDummyAddr = (uint64_t{1} << 62) - 1;
 
-/// Run `prog` with the oblivious space-bounded simulation. The Sorter is
+/// Run `prog` with the oblivious space-bounded simulation. The backend is
 /// the oblivious Elem sorter used inside sorts/send-receives (plug in
-/// core::OsortSorter for the Theorem 4.1 bounds, obl::BitonicSorter for
-/// the self-contained practical configuration).
-template <class Sorter = obl::BitonicSorter>
-std::vector<uint64_t> run_oblivious_sb(Program& prog,
-                                       const Sorter& sorter = {},
-                                       RunStats* stats = nullptr) {
+/// make_backend("osort") for the Theorem 4.1 bounds, the default
+/// "bitonic_ca" for the self-contained practical configuration).
+inline std::vector<uint64_t> run_oblivious_sb(
+    Program& prog, const SorterBackend& sorter = default_backend(),
+    RunStats* stats = nullptr) {
   using obl::Elem;
   const size_t p = prog.processors();
   const size_t s = prog.space();
@@ -112,7 +111,7 @@ std::vector<uint64_t> run_oblivious_sb(Program& prog,
       }
       w[i] = e;
     });
-    sorter(w, obl::ByKey{});
+    sorter.sort(w);
     // Two passes so the dedup flags come from a consistent snapshot (a
     // single pass would race with its own filler rewrites).
     vec<uint64_t> loserv(psort);

@@ -77,7 +77,7 @@ TEST(GatherScatter, CombineMinRespectsOldValue) {
   vec<uint64_t> table(4, 3), addrs(1), vals(1), live(1, 1);
   addrs.s()[0] = 0;
   vals.s()[0] = 9;
-  apps::scatter_min(table.s(), addrs.s(), vals.s(), live.s(), {}, true);
+  apps::scatter_min(table.s(), addrs.s(), vals.s(), live.s(), default_backend(), true);
   EXPECT_EQ(table.s()[0], 3u);  // old value smaller, kept
 }
 
@@ -87,7 +87,7 @@ TEST_P(ListRankTest, ObliviousMatchesInsecureAndGroundTruth) {
   const size_t n = GetParam();
   std::vector<uint64_t> order;
   auto succ = random_list_succ(n, 31 + n, &order);
-  auto obl = apps::list_rank_oblivious(succ, /*seed=*/n);
+  auto obl = apps::detail::list_rank(succ, /*seed=*/n);
   auto ins = insecure::list_rank(succ);
   ASSERT_EQ(obl, ins);
   // Ground truth: order[k] has distance n-1-k to the tail.
@@ -106,7 +106,7 @@ TEST(ListRank, WeightedRanksSumPathWeights) {
   auto succ = random_list_succ(n, 5, &order);
   std::vector<uint64_t> weight(n);
   for (size_t i = 0; i < n; ++i) weight[i] = i + 1;
-  auto obl = apps::list_rank_oblivious(succ, weight, 99);
+  auto obl = apps::detail::list_rank(succ, weight, 99);
   auto ins = insecure::list_rank(succ, weight);
   EXPECT_EQ(obl, ins);
   // Tail rank 0; its predecessor has rank = its own weight.
@@ -170,7 +170,7 @@ TEST_P(TreeFnTest, ObliviousMatchesReferenceDfs) {
   const size_t n = GetParam();
   auto edges = random_tree(n, 7 * n);
   const uint32_t root = 0;
-  auto tf = apps::tree_functions_oblivious(edges, root, /*seed=*/n);
+  auto tf = apps::detail::tree_functions(edges, root, /*seed=*/n);
   auto ins = insecure::tree_functions(
       [&] {
         std::vector<insecure::Edge> ie(edges.size());
@@ -237,7 +237,7 @@ TEST_P(ContractionTest, ObliviousRakeMatchesRecursiveEval) {
   for (uint64_t seed : {1u, 2u, 3u}) {
     apps::ExprTree t = random_expr_tree(leaves, seed * 100 + leaves);
     const uint64_t expect = apps::tree_eval_reference(t);
-    EXPECT_EQ(apps::tree_eval_oblivious(t), expect) << seed;
+    EXPECT_EQ(apps::detail::tree_eval(t), expect) << seed;
     EXPECT_EQ(insecure::tree_eval(t), expect) << seed;
   }
 }
@@ -267,7 +267,7 @@ TEST_P(CcTest, ObliviousAndInsecureMatchOracle) {
   const auto [n, m] = GetParam();
   auto edges = random_graph(n, m, n * 13 + m);
   auto oracle = insecure::cc_oracle(n, edges);
-  auto obl = apps::connected_components_oblivious(n, edges);
+  auto obl = apps::detail::connected_components(n, edges);
   auto ins = insecure::connected_components(n, edges);
   EXPECT_EQ(obl, oracle);
   EXPECT_EQ(ins, oracle);
@@ -287,14 +287,14 @@ TEST(Cc, AdversarialShapesPathAndStar) {
   for (uint32_t v = 1; v < n; ++v) {
     path.push_back(apps::GEdge{v - 1, v, 0});
   }
-  EXPECT_EQ(apps::connected_components_oblivious(n, path),
+  EXPECT_EQ(apps::detail::connected_components(n, path),
             insecure::cc_oracle(n, path));
   // Star centered at n-1 (max id) to stress hooking direction.
   std::vector<apps::GEdge> star;
   for (uint32_t v = 0; v + 1 < n; ++v) {
     star.push_back(apps::GEdge{static_cast<uint32_t>(n - 1), v, 0});
   }
-  EXPECT_EQ(apps::connected_components_oblivious(n, star),
+  EXPECT_EQ(apps::detail::connected_components(n, star),
             insecure::cc_oracle(n, star));
 }
 
@@ -308,7 +308,7 @@ TEST_P(MsfTest, TotalWeightMatchesKruskalAndFormsSpanningForest) {
     edges[e].w = e * 3 + 1;  // distinct weights
   }
   const uint64_t want = insecure::msf_weight_oracle(n, edges);
-  auto flags = apps::msf_oblivious(n, edges);
+  auto flags = apps::detail::msf(n, edges);
   uint64_t got = 0;
   size_t count = 0;
   insecure::UnionFind uf(n);

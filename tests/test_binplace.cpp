@@ -123,7 +123,7 @@ TEST(BinPlacement, TraceIndependentOfBinChoices) {
   EXPECT_EQ(digest_of(2), digest_of(3));
 }
 
-TEST(BinPlacement, WorksWithOddEvenSorter) {
+TEST(BinPlacement, WorksWithOddEvenBackend) {
   constexpr size_t beta = 4, Z = 8;
   util::Rng rng(13);
   std::vector<Elem> in(beta * Z / 2);
@@ -134,7 +134,7 @@ TEST(BinPlacement, WorksWithOddEvenSorter) {
   vec<Elem> inv(in);
   vec<Elem> out(beta * Z);
   obl::bin_placement(inv.s(), out.s(), beta, Z, GroupFromExtra{},
-                     obl::OddEvenSorter{});
+                     *make_backend("odd_even"));
   size_t reals = 0;
   for (const Elem& e : out.underlying()) reals += !e.is_filler();
   EXPECT_EQ(reals, in.size());

@@ -10,6 +10,7 @@
 #include "apps/cc.hpp"
 #include "apps/listrank.hpp"
 #include "core/osort.hpp"
+#include "core/runtime.hpp"
 #include "forkjoin/pool.hpp"
 #include "insecure/graph.hpp"
 #include "obl/sendrecv.hpp"
@@ -36,7 +37,7 @@ TEST(Integration, OsortUnderFullInstrumentationStaysCorrect) {
   {
     sim::ScopedSession guard(s);
     vec<Elem> v(in);
-    core::osort(v.s(), 3);
+    core::detail::osort(v.s(), 3);
     result = v.underlying();
   }
   EXPECT_TRUE(test::sorted_by_key(result));
@@ -51,14 +52,14 @@ TEST(Integration, OsortOnRealThreadPoolMatchesSerial) {
   std::vector<Elem> serial = in;
   {
     vec<Elem> v(in);
-    core::osort(v.s(), 7);
+    core::detail::osort(v.s(), 7);
     serial = v.underlying();
   }
   std::vector<Elem> parallel;
   {
     fj::WithPool wp(3);
     vec<Elem> v(in);
-    wp.run([&] { core::osort(v.s(), 7); });
+    wp.run([&] { core::detail::osort(v.s(), 7); });
     parallel = v.underlying();
   }
   // Same seed => identical permutation and pivot draws => identical output.
@@ -78,18 +79,18 @@ TEST(Integration, ListRankingOnPoolAgreesWithAnalytic) {
   for (size_t i = 0; i + 1 < n; ++i) succ[order[i]] = order[i + 1];
   succ[order[n - 1]] = order[n - 1];
 
-  auto serial = apps::list_rank_oblivious(succ, 11);
+  auto serial = apps::detail::list_rank(succ, 11);
   std::vector<uint64_t> pooled;
   {
     fj::WithPool wp(2);
-    wp.run([&] { pooled = apps::list_rank_oblivious(succ, 11); });
+    wp.run([&] { pooled = apps::detail::list_rank(succ, 11); });
   }
   EXPECT_EQ(serial, pooled);
 }
 
-TEST(Integration, PramSimulationWithOsortSorterEndToEnd) {
-  // Theorem 4.1 with the real oblivious sort plugged in, under cost
-  // accounting, vs the reference emulator.
+TEST(Integration, PramSimulationWithOsortBackendEndToEnd) {
+  // Theorem 4.1 with the real oblivious sort plugged in through the
+  // backend registry, under cost accounting, vs the reference emulator.
   auto succ = std::vector<uint64_t>{1, 2, 3, 3};  // tiny list
   pram::PointerJumpProgram a(succ), b(succ);
   auto ref = pram::run_reference(a);
@@ -97,8 +98,8 @@ TEST(Integration, PramSimulationWithOsortSorterEndToEnd) {
   std::vector<uint64_t> obl_mem;
   {
     sim::ScopedSession guard(s);
-    core::OsortSorter sorter;
-    obl_mem = pram::run_oblivious_sb(b, sorter);
+    auto sorter = make_backend("osort");
+    obl_mem = pram::run_oblivious_sb(b, *sorter);
   }
   EXPECT_EQ(ref, obl_mem);
   EXPECT_GT(s.cost().work, 0u);
@@ -114,7 +115,7 @@ TEST(Integration, SendReceiveChain) {
     queriesB[i].key = i;
   }
   vec<Elem> a(tableA), qb(queriesB), r1(n), r2(n);
-  obl::send_receive(a.s(), qb.s(), r1.s());
+  obl::detail::send_receive(a.s(), qb.s(), r1.s());
   // Second hop: ask for the slot the first hop pointed at.
   vec<Elem> q2(n);
   for (size_t i = 0; i < n; ++i) {
@@ -122,18 +123,19 @@ TEST(Integration, SendReceiveChain) {
     d.key = r1.underlying()[i].payload;
     q2.underlying()[i] = d;
   }
-  obl::send_receive(a.s(), q2.s(), r2.s());
+  obl::detail::send_receive(a.s(), q2.s(), r2.s());
   for (size_t i = 0; i < n; ++i) {
     EXPECT_EQ(r2.underlying()[i].payload, (((i * 17) % n) * 17) % n);
   }
 }
 
-TEST(Integration, CcWithOsortSorterOnSmallGraph) {
+TEST(Integration, CcThroughRuntimeOnSmallGraph) {
   constexpr size_t n = 24;
   std::vector<apps::GEdge> edges{{0, 1, 0}, {1, 2, 0}, {5, 6, 0},
                                  {6, 7, 0},  {7, 5, 0}, {10, 11, 0}};
   auto oracle = insecure::cc_oracle(n, edges);
-  auto labels = apps::connected_components_oblivious(n, edges);
+  auto rt = Runtime::builder().seed(44).build();
+  auto labels = rt.connected_components(n, edges);
   EXPECT_EQ(labels, oracle);
 }
 
@@ -144,7 +146,7 @@ TEST(Integration, DeterminismAcrossRuns) {
   auto in = test::random_elems(n, 12);
   auto run = [&] {
     vec<Elem> v(in);
-    core::osort(v.s(), 99);
+    core::detail::osort(v.s(), 99);
     return v.underlying();
   };
   auto r1 = run(), r2 = run();

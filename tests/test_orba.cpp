@@ -25,7 +25,7 @@ TEST(Orba, EveryRealElementReachesItsLabeledBin) {
   constexpr size_t n = 1024, Z = 64;
   auto in = test::random_elems(n, 3);
   vec<Elem> inv(in);
-  core::OrbaOutput out = core::orba(inv.s(), /*seed=*/99, small_params(Z, 4));
+  core::OrbaOutput out = core::detail::orba(inv.s(), /*seed=*/99, small_params(Z, 4));
   ASSERT_EQ(out.beta, 2 * n / Z);
   size_t reals = 0;
   for (size_t b = 0; b < out.beta; ++b) {
@@ -44,7 +44,7 @@ TEST(Orba, PayloadsSurviveRouting) {
   constexpr size_t n = 256, Z = 32;
   auto in = test::random_elems(n, 5);
   vec<Elem> inv(in);
-  core::OrbaOutput out = core::orba(inv.s(), 7, small_params(Z, 4));
+  core::OrbaOutput out = core::detail::orba(inv.s(), 7, small_params(Z, 4));
   std::vector<Elem> routed;
   for (const Routed& r : out.bins.underlying()) {
     if (!r.e.is_filler()) routed.push_back(r.e);
@@ -56,7 +56,7 @@ TEST(Orba, LargerGammaStillRoutesCorrectly) {
   constexpr size_t n = 4096, Z = 64;  // beta = 128, gamma = 16
   auto in = test::random_elems(n, 8);
   vec<Elem> inv(in);
-  core::OrbaOutput out = core::orba(inv.s(), 21, small_params(Z, 16));
+  core::OrbaOutput out = core::detail::orba(inv.s(), 21, small_params(Z, 16));
   for (size_t b = 0; b < out.beta; ++b) {
     for (size_t k = 0; k < out.Z; ++k) {
       const Routed& r = out.bins.underlying()[b * out.Z + k];
@@ -74,7 +74,7 @@ TEST(Orba, TraceIndependentOfDataAndSeed) {
     auto in = test::random_elems(512, data_seed);
     vec<Elem> inv(in);
     core::OrbaOutput out =
-        core::orba(inv.s(), label_seed, small_params(64, 4));
+        core::detail::orba(inv.s(), label_seed, small_params(64, 4));
     (void)out;
     return s.log()->digest();
   };
@@ -92,7 +92,7 @@ TEST(Orba, OverflowIsDetectedUnderAdversarialCapacity) {
   bool threw = false;
   for (uint64_t seed = 0; seed < 16 && !threw; ++seed) {
     try {
-      core::OrbaOutput out = core::orba(inv.s(), seed, small_params(Z, 4));
+      core::OrbaOutput out = core::detail::orba(inv.s(), seed, small_params(Z, 4));
       size_t reals = 0;
       for (const Routed& r : out.bins.underlying()) {
         reals += !r.e.is_filler();
@@ -111,7 +111,7 @@ TEST(Orba, WorkIsNLogNShaped) {
     sim::ScopedSession guard(s);
     auto in = test::random_elems(n, 5);
     vec<Elem> inv(in);
-    (void)core::orba(inv.s(), 3, core::SortParams::auto_for(n));
+    (void)core::detail::orba(inv.s(), 3, core::SortParams::auto_for(n));
     return double(s.cost().work);
   };
   // work(4n) / work(n) for Theta(n log n) is ~4 * (log 4n / log n) < 5.5;

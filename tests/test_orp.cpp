@@ -23,7 +23,7 @@ TEST(Orp, OutputIsAPermutationOfTheInput) {
   for (size_t n : {size_t{64}, size_t{1024}, size_t{4096}}) {
     auto in = test::random_elems(n, n);
     vec<Elem> inv(in), outv(n);
-    core::orp(inv.s(), outv.s(), /*seed=*/5, params_for(n));
+    core::detail::orp(inv.s(), outv.s(), /*seed=*/5, params_for(n));
     EXPECT_TRUE(test::same_keys(outv.underlying(), in));
     for (const Elem& e : outv.underlying()) EXPECT_FALSE(e.is_filler());
   }
@@ -37,7 +37,7 @@ TEST(Orp, PaddedInputKeepsRealsFirst) {
     in[i].key = i;
   }
   vec<Elem> inv(in), outv(n);
-  core::orp(inv.s(), outv.s(), 9, params_for(n));
+  core::detail::orp(inv.s(), outv.s(), 9, params_for(n));
   for (size_t i = 0; i < 100; ++i) {
     EXPECT_FALSE(outv.underlying()[i].is_filler());
   }
@@ -50,8 +50,8 @@ TEST(Orp, DifferentSeedsGiveDifferentPermutations) {
   constexpr size_t n = 256;
   auto in = test::random_elems(n, 1);
   vec<Elem> inv(in), a(n), b(n);
-  core::orp(inv.s(), a.s(), 100, params_for(n));
-  core::orp(inv.s(), b.s(), 200, params_for(n));
+  core::detail::orp(inv.s(), a.s(), 100, params_for(n));
+  core::detail::orp(inv.s(), b.s(), 200, params_for(n));
   size_t same = 0;
   for (size_t i = 0; i < n; ++i) {
     same += a.underlying()[i].key == b.underlying()[i].key;
@@ -70,7 +70,7 @@ TEST(Orp, UniformityChiSquareOverAllPermutationsOfFour) {
     std::vector<Elem> in(n);
     for (size_t i = 0; i < n; ++i) in[i].key = i;
     vec<Elem> inv(in), outv(n);
-    core::orp(inv.s(), outv.s(), 500'000 + t, params_for(n));
+    core::detail::orp(inv.s(), outv.s(), 500'000 + t, params_for(n));
     std::array<uint64_t, n> perm{};
     for (size_t i = 0; i < n; ++i) perm[i] = outv.underlying()[i].key;
     counts[perm]++;
@@ -93,7 +93,7 @@ TEST(Orp, PositionMarginalsAreUniform) {
     std::vector<Elem> in(n);
     for (size_t i = 0; i < n; ++i) in[i].key = i;
     vec<Elem> inv(in), outv(n);
-    core::orp(inv.s(), outv.s(), 900'000 + t, params_for(n));
+    core::detail::orp(inv.s(), outv.s(), 900'000 + t, params_for(n));
     for (size_t pos = 0; pos < n; ++pos) {
       hist[outv.underlying()[pos].key][pos]++;
     }
@@ -115,7 +115,7 @@ TEST(Orp, TraceIndependentOfInputValuesForFixedSeed) {
     sim::ScopedSession guard(s);
     auto in = test::random_elems(256, data_seed);
     vec<Elem> inv(in), outv(256);
-    core::orp(inv.s(), outv.s(), /*seed=*/4242, params_for(256));
+    core::detail::orp(inv.s(), outv.s(), /*seed=*/4242, params_for(256));
     return s.log()->digest();
   };
   EXPECT_EQ(digest_of(1), digest_of(2));

@@ -24,7 +24,7 @@ TEST_P(OsortTest, SortsRandomInput) {
   const auto [variant, n] = GetParam();
   auto in = test::random_elems(n, 17 * n + 1);
   vec<Elem> v(in);
-  core::osort(v.s(), /*seed=*/n, variant);
+  core::detail::osort(v.s(), /*seed=*/n, variant);
   EXPECT_TRUE(test::sorted_by_key(v.underlying()));
   EXPECT_TRUE(test::same_keys(v.underlying(), in));
 }
@@ -37,7 +37,7 @@ TEST_P(OsortTest, SortsDuplicateHeavyInput) {
     in[i].payload = i;
   }
   vec<Elem> v(in);
-  core::osort(v.s(), 11, variant);
+  core::detail::osort(v.s(), 11, variant);
   EXPECT_TRUE(test::sorted_by_key(v.underlying()));
   EXPECT_TRUE(test::same_keys(v.underlying(), in));
 }
@@ -50,7 +50,7 @@ TEST_P(OsortTest, SortsConstantInput) {
     in[i].payload = i;
   }
   vec<Elem> v(in);
-  core::osort(v.s(), 13, variant);
+  core::detail::osort(v.s(), 13, variant);
   for (const Elem& e : v.underlying()) EXPECT_EQ(e.key, 5u);
 }
 
@@ -62,8 +62,8 @@ TEST_P(OsortTest, SortsSortedAndReversedInput) {
     desc[i].key = n - i;
   }
   vec<Elem> a(asc), d(desc);
-  core::osort(a.s(), 3, variant);
-  core::osort(d.s(), 4, variant);
+  core::detail::osort(a.s(), 3, variant);
+  core::detail::osort(d.s(), 4, variant);
   EXPECT_TRUE(test::sorted_by_key(a.underlying()));
   EXPECT_TRUE(test::sorted_by_key(d.underlying()));
 }
@@ -85,7 +85,7 @@ TEST(Osort, PayloadsTravelWithKeys) {
     in[i].aux = in[i].key * 13 + 2;
   }
   vec<Elem> v(in);
-  core::osort(v.s(), 6, Variant::Practical);
+  core::detail::osort(v.s(), 6, Variant::Practical);
   for (const Elem& e : v.underlying()) {
     EXPECT_EQ(e.payload, e.key * 7 + 1);
     EXPECT_EQ(e.aux, e.key * 13 + 2);
@@ -98,7 +98,7 @@ TEST(Osort, ManySeedsAllSucceed) {
   for (uint64_t seed = 0; seed < 20; ++seed) {
     auto in = test::random_elems(n, seed + 1000);
     vec<Elem> v(in);
-    core::osort(v.s(), seed, Variant::Practical);
+    core::detail::osort(v.s(), seed, Variant::Practical);
     ASSERT_TRUE(test::sorted_by_key(v.underlying())) << seed;
   }
 }
@@ -109,7 +109,7 @@ TEST(Osort, WorkIsNLogNShapedTheoretical) {
     sim::ScopedSession guard(s);
     auto in = test::random_elems(n, 5);
     vec<Elem> v(in);
-    core::osort(v.s(), 3, Variant::Theoretical);
+    core::detail::osort(v.s(), 3, Variant::Theoretical);
     return double(s.cost().work);
   };
   const double r = work_of(1 << 14) / work_of(1 << 12);
@@ -123,7 +123,7 @@ TEST(Osort, SpanIsPolylog) {
     sim::ScopedSession guard(s);
     auto in = test::random_elems(n, 5);
     vec<Elem> v(in);
-    core::osort(v.s(), 3, Variant::Practical);
+    core::detail::osort(v.s(), 3, Variant::Practical);
     return double(s.cost().span);
   };
   // Quadrupling n must grow span far less than 4x.
@@ -131,12 +131,12 @@ TEST(Osort, SpanIsPolylog) {
   EXPECT_LT(r, 2.6);
 }
 
-TEST(OsortSorter, PluggableIntoElemSorts) {
+TEST(OsortBackend, PluggableIntoElemSorts) {
   constexpr size_t n = 1024;
   auto in = test::random_elems(n, 77);
   vec<Elem> v(in);
-  core::OsortSorter sorter;
-  sorter(v.s(), obl::ByKey{});
+  auto sorter = make_backend("osort");
+  sorter->sort(v.s());
   EXPECT_TRUE(test::sorted_by_key(v.underlying()));
 }
 

@@ -78,8 +78,8 @@ TEST(PramObliviousSB, MatchesReferenceOnPointerJumping) {
 TEST(PramObliviousSB, WorksWithFullObliviousSorter) {
   auto vals = random_values(16, 9);
   pram::MaxReduceProgram a(vals), b(vals);
-  core::OsortSorter sorter;
-  EXPECT_EQ(pram::run_reference(a), pram::run_oblivious_sb(b, sorter));
+  auto sorter = make_backend("osort");
+  EXPECT_EQ(pram::run_reference(a), pram::run_oblivious_sb(b, *sorter));
 }
 
 TEST(PramObliviousSB, TraceIndependentOfDataAndAddresses) {

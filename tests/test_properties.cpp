@@ -8,6 +8,7 @@
 #include <set>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "core/orba.hpp"
 #include "core/orp.hpp"
 #include "core/osort.hpp"
@@ -40,7 +41,7 @@ TEST_P(OsortPropertyTest, SortedPermutationWithPayloadIntegrity) {
     in[i].aux = i;
   }
   vec<Elem> v(in);
-  core::osort(v.s(), seed, variant);
+  core::detail::osort(v.s(), seed, variant);
   ASSERT_TRUE(test::sorted_by_key(v.underlying()));
   ASSERT_TRUE(test::same_keys(v.underlying(), in));
   // Payload must stay glued to its key.
@@ -75,7 +76,7 @@ TEST_P(OrbaPropertyTest, RoutingPreservesMultisetAndRespectsLabels) {
   auto in = test::random_elems(n, n + Z + gamma);
   vec<Elem> inv(in);
   try {
-    core::OrbaOutput out = core::orba(inv.s(), 5, p);
+    core::OrbaOutput out = core::detail::orba(inv.s(), 5, p);
     std::vector<Elem> routed;
     for (size_t b = 0; b < out.beta; ++b) {
       for (size_t k = 0; k < out.Z; ++k) {
@@ -113,7 +114,7 @@ TEST(FailureInjection, OrpSurvivesAdversariallyTinyBins) {
   p.max_retries = 64;
   vec<Elem> inv(in), outv(n);
   try {
-    core::orp(inv.s(), outv.s(), 3, p);
+    core::detail::orp(inv.s(), outv.s(), 3, p);
     EXPECT_TRUE(test::same_keys(outv.underlying(), in));
   } catch (const core::PermuteFailure&) {
     SUCCEED();  // acceptable: retries exhausted, no silent corruption
@@ -129,7 +130,7 @@ TEST(FailureInjection, OsortRecoversFromRecsortOverflow) {
   p.rec_bin = 256;
   p.max_retries = 32;
   vec<Elem> v(in);
-  core::osort(v.s(), 5, core::Variant::Practical, p);
+  core::detail::osort(v.s(), 5, core::Variant::Practical, p);
   EXPECT_TRUE(test::sorted_by_key(v.underlying()));
   EXPECT_TRUE(test::same_keys(v.underlying(), in));
 }
@@ -169,19 +170,20 @@ TEST(SorterConsistency, AllSortersAgreeOnSendReceive) {
   }
   for (size_t i = 0; i < nd; ++i) dests[i].key = rng.below(3 * ns);
 
-  auto run = [&](auto sorter) {
+  auto run = [&](std::string_view backend) {
+    auto sorter = make_backend(backend);
     vec<Elem> s(sources), d(dests), r(nd);
-    obl::send_receive(s.s(), d.s(), r.s(), sorter);
+    obl::detail::send_receive(s.s(), d.s(), r.s(), *sorter);
     std::vector<std::pair<uint64_t, bool>> out;
     for (const Elem& e : r.underlying()) {
       out.emplace_back(e.payload, (e.flags & Elem::kNotFound) != 0);
     }
     return out;
   };
-  const auto a = run(obl::BitonicSorter{});
-  const auto b = run(obl::NaiveBitonicSorter{});
-  const auto c = run(obl::OddEvenSorter{});
-  const auto d = run(core::OsortSorter{});
+  const auto a = run("bitonic_ca");
+  const auto b = run("naive_bitonic");
+  const auto c = run("odd_even");
+  const auto d = run("osort");
   EXPECT_EQ(a, b);
   EXPECT_EQ(a, c);
   EXPECT_EQ(a, d);
@@ -245,8 +247,8 @@ TEST(OrpProperty, ComposedPermutationsStayUniformMarginally) {
     std::vector<Elem> in(n);
     for (size_t i = 0; i < n; ++i) in[i].key = i;
     vec<Elem> a(in), b(n), c(n);
-    core::orp(a.s(), b.s(), 10'000 + 2 * t);
-    core::orp(b.s(), c.s(), 10'001 + 2 * t);
+    core::detail::orp(a.s(), b.s(), 10'000 + 2 * t);
+    core::detail::orp(b.s(), c.s(), 10'001 + 2 * t);
     for (size_t pos = 0; pos < n; ++pos) {
       hist[c.underlying()[pos].key][pos]++;
     }

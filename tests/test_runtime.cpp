@@ -1,7 +1,5 @@
-// Unit tests: the dopar::Runtime façade (core/runtime.hpp).
-//
-// This suite intentionally builds WITHOUT DOPAR_NO_DEPRECATION_WARNINGS:
-// it must compile clean against the new API only.
+// Unit tests: the dopar::Runtime façade (core/runtime.hpp). Backend
+// selection, per-call SortOptions and submit() live in test_backends.cpp.
 
 #include <gtest/gtest.h>
 

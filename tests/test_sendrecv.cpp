@@ -31,7 +31,7 @@ TEST(SendReceive, EveryReceiverGetsItsValue) {
   std::vector<Elem> sources{src(1, 100), src(5, 500), src(9, 900)};
   std::vector<Elem> dests{dst(5), dst(1), dst(9), dst(5)};
   vec<Elem> sv(sources), dv(dests), rv(dests.size());
-  obl::send_receive(sv.s(), dv.s(), rv.s());
+  obl::detail::send_receive(sv.s(), dv.s(), rv.s());
   const auto& r = rv.underlying();
   EXPECT_EQ(r[0].payload, 500u);
   EXPECT_EQ(r[1].payload, 100u);
@@ -44,7 +44,7 @@ TEST(SendReceive, MissingKeyYieldsNotFound) {
   std::vector<Elem> sources{src(1, 100)};
   std::vector<Elem> dests{dst(2), dst(1)};
   vec<Elem> sv(sources), dv(dests), rv(dests.size());
-  obl::send_receive(sv.s(), dv.s(), rv.s());
+  obl::detail::send_receive(sv.s(), dv.s(), rv.s());
   EXPECT_TRUE(rv.underlying()[0].flags & Elem::kNotFound);
   EXPECT_FALSE(rv.underlying()[1].flags & Elem::kNotFound);
   EXPECT_EQ(rv.underlying()[1].payload, 100u);
@@ -54,7 +54,7 @@ TEST(SendReceive, AuxValueTravelsToo) {
   std::vector<Elem> sources{src(4, 44, 4444)};
   std::vector<Elem> dests{dst(4)};
   vec<Elem> sv(sources), dv(dests), rv(1);
-  obl::send_receive(sv.s(), dv.s(), rv.s());
+  obl::detail::send_receive(sv.s(), dv.s(), rv.s());
   EXPECT_EQ(rv.underlying()[0].payload, 44u);
   EXPECT_EQ(rv.underlying()[0].aux, 4444u);
 }
@@ -63,7 +63,7 @@ TEST(SendReceive, OneSenderManyReceivers) {
   std::vector<Elem> sources{src(7, 777)};
   std::vector<Elem> dests(100, dst(7));
   vec<Elem> sv(sources), dv(dests), rv(dests.size());
-  obl::send_receive(sv.s(), dv.s(), rv.s());
+  obl::detail::send_receive(sv.s(), dv.s(), rv.s());
   for (const Elem& e : rv.underlying()) EXPECT_EQ(e.payload, 777u);
 }
 
@@ -80,7 +80,7 @@ TEST(SendReceive, LargeRandomInstanceAgainstReferenceMap) {
   std::vector<Elem> dests;
   for (size_t i = 0; i < nd; ++i) dests.push_back(dst(rng.below(2 * ns)));
   vec<Elem> sv(sources), dv(dests), rv(nd);
-  obl::send_receive(sv.s(), dv.s(), rv.s());
+  obl::detail::send_receive(sv.s(), dv.s(), rv.s());
   for (size_t i = 0; i < nd; ++i) {
     const uint64_t key = dests[i].key;
     const Elem& r = rv.underlying()[i];
@@ -102,7 +102,7 @@ TEST(SendReceive, TraceIndependentOfKeysAndMatches) {
     for (size_t i = 0; i < 64; ++i) sources.push_back(src(i * 3 + seed, i));
     for (size_t i = 0; i < 64; ++i) dests.push_back(dst(rng.below(400)));
     vec<Elem> sv(sources), dv(dests), rv(dests.size());
-    obl::send_receive(sv.s(), dv.s(), rv.s());
+    obl::detail::send_receive(sv.s(), dv.s(), rv.s());
     return s.log()->digest();
   };
   EXPECT_EQ(digest_of(1), digest_of(2));
@@ -113,11 +113,11 @@ TEST(SendReceive, EmptySidesAreHandled) {
   vec<Elem> sv(std::vector<Elem>{src(1, 1)});
   vec<Elem> dv(std::vector<Elem>{});
   vec<Elem> rv(size_t{0});
-  obl::send_receive(sv.s(), dv.s(), rv.s());  // no receivers: no-op
+  obl::detail::send_receive(sv.s(), dv.s(), rv.s());  // no receivers: no-op
   std::vector<Elem> dests{dst(3)};
   vec<Elem> dv2(dests), rv2(1);
   vec<Elem> sv2(std::vector<Elem>{});
-  obl::send_receive(sv2.s(), dv2.s(), rv2.s());  // no sources: all misses
+  obl::detail::send_receive(sv2.s(), dv2.s(), rv2.s());  // no sources: all misses
   EXPECT_TRUE(rv2.underlying()[0].flags & Elem::kNotFound);
 }
 
