@@ -4,7 +4,9 @@
 //
 // The paper's Table 1 is asymptotic; this bench prints, for each task and
 // a sweep of sizes, the measured work/span/cache of both sides plus the
-// oblivious/insecure ratio. Claims to check:
+// oblivious/insecure ratio, and writes every measured row to
+// BENCH_table1.json via the shared bench::record/write_json schema (see
+// bench_util.hpp for the snapshot-refresh workflow). Claims to check:
 //   * Sort/LR/ET rows: ratios stay bounded (privacy ~for free, up to the
 //     practical variant's loglog work factor);
 //   * TC/CC/MSF rows (the † rows): the oblivious *span* ratio SHRINKS as n
@@ -34,9 +36,13 @@ namespace {
 
 using bench::measure;
 using bench::Measure;
+using bench::record;
+using bench::write_json;
 
-void row(const char* task, size_t n, const Measure& obl,
+void row(const char* task, const char* section, size_t n, const Measure& obl,
          const Measure& ins) {
+  record(section, "oblivious", n, "", obl);
+  record(section, "insecure", n, "", ins);
   std::printf(
       "%-6s n=%-7zu | obl W=%-11llu S=%-8llu Q=%-9llu | ins W=%-11llu "
       "S=%-8llu Q=%-9llu | ratio W=%.2f S=%.2f Q=%.2f\n",
@@ -78,7 +84,8 @@ int main() {
               "M=%llu B=%llu)\n",
               (unsigned long long)bench::kM, (unsigned long long)bench::kB);
 
-  bench::print_header("Sort (oblivious practical vs parallel merge sort)",
+  bench::print_header("Sort (oblivious practical vs parallel merge sort; "
+                      "+ theoretical = ORP + SPMS)",
                       "");
   for (size_t n : {1u << 10, 1u << 11, 1u << 12, 1u << 13}) {
     auto data = rand_elems(n, n);
@@ -90,7 +97,19 @@ int main() {
       vec<obl::Elem> v(data);
       insecure::merge_sort(v.s());
     });
-    row("Sort", n, mo, mi);
+    row("Sort", "sort", n, mo, mi);
+    // The headline Theorem 3.2 configuration: ORP + the genuine SPMS
+    // comparison phase (core/spms.hpp), recorded under the "spms"
+    // backend so the JSON trajectory tracks it per PR.
+    Measure mt = measure([&] {
+      vec<obl::Elem> v(data);
+      core::detail::osort(v.s(), 1, core::Variant::Theoretical);
+    });
+    record("sort", "oblivious_theoretical", n, "spms", mt);
+    std::printf(
+        "Sort-T n=%-7zu | obl W=%-11llu S=%-8llu Q=%-9llu (ORP+SPMS)\n", n,
+        (unsigned long long)mt.work, (unsigned long long)mt.span,
+        (unsigned long long)mt.misses);
   }
 
   bench::print_header("List ranking", "");
@@ -99,7 +118,7 @@ int main() {
     Measure mo =
         measure([&] { (void)apps::detail::list_rank(succ, 7); });
     Measure mi = measure([&] { (void)insecure::list_rank(succ); });
-    row("LR", n, mo, mi);
+    row("LR", "list_rank", n, mo, mi);
   }
 
   bench::print_header("Euler-tour tree functions (ET-Tree)", "");
@@ -117,7 +136,7 @@ int main() {
         [&] { (void)apps::detail::tree_functions(edges, 0, 5); });
     Measure mi =
         measure([&] { (void)insecure::tree_functions(iedges, 0); });
-    row("ET", n, mo, mi);
+    row("ET", "euler_tour", n, mo, mi);
   }
 
   bench::print_header("Tree contraction (expression evaluation; † row)", "");
@@ -146,7 +165,7 @@ int main() {
     t.root = roots[0];
     Measure mo = measure([&] { (void)apps::detail::tree_eval(t); });
     Measure mi = measure([&] { (void)insecure::tree_eval(t); });
-    row("TC", 2 * leaves - 1, mo, mi);
+    row("TC", "tree_contraction", 2 * leaves - 1, mo, mi);
   }
 
   bench::print_header("Connected components († row)", "");
@@ -162,7 +181,7 @@ int main() {
         [&] { (void)apps::detail::connected_components(n, edges); });
     Measure mi =
         measure([&] { (void)insecure::connected_components(n, edges); });
-    row("CC", n, mo, mi);
+    row("CC", "connected_components", n, mo, mi);
   }
 
   bench::print_header("Minimum spanning forest († row)", "");
@@ -177,9 +196,10 @@ int main() {
     }
     Measure mo = measure([&] { (void)apps::detail::msf(n, edges); });
     Measure mi = measure([&] { (void)insecure::msf(n, edges); });
-    row("MSF", n, mo, mi);
+    row("MSF", "msf", n, mo, mi);
   }
 
+  write_json("BENCH_table1.json");
   std::printf("\nDone. See EXPERIMENTS.md for paper-vs-measured notes.\n");
   return 0;
 }

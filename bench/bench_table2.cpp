@@ -18,11 +18,8 @@
 //     OPRAM-based large-space simulation (s >> p).
 //
 // Besides the human-readable table, every measured row of a run is
-// written to BENCH_table2.json in the *current working directory* (array
-// of {section, config, n, backend, work, span, misses}; rewritten per
-// run). To refresh the committed snapshot, run the bench from the repo
-// root (`./build/bench_table2`) — or copy the file there — and commit it,
-// so the perf trajectory accumulates in the repo's history.
+// written to BENCH_table2.json via the shared bench::record/write_json
+// schema (see bench_util.hpp for the snapshot-refresh workflow).
 
 #include <cstdio>
 #include <string>
@@ -45,72 +42,8 @@ namespace {
 
 using bench::measure;
 using bench::Measure;
-
-/// One emitted measurement row (mirrors the JSON schema).
-struct Row {
-  std::string section;
-  std::string config;
-  size_t n = 0;
-  std::string backend;
-  Measure m;
-};
-
-std::vector<Row>& rows() {
-  static std::vector<Row> r;
-  return r;
-}
-
-void record(std::string section, std::string config, size_t n,
-            std::string backend, const Measure& m) {
-  rows().push_back(Row{std::move(section), std::move(config), n,
-                       std::move(backend), m});
-}
-
-/// Minimal JSON string escaping: backend names come from the open
-/// registry, so quotes/backslashes/control bytes must not break the file.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (unsigned char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
-  return out;
-}
-
-void write_json(const char* path) {
-  std::FILE* f = std::fopen(path, "w");
-  if (!f) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path);
-    return;
-  }
-  std::fprintf(f, "[\n");
-  for (size_t i = 0; i < rows().size(); ++i) {
-    const Row& r = rows()[i];
-    std::fprintf(f,
-                 "  {\"section\": \"%s\", \"config\": \"%s\", \"n\": %zu, "
-                 "\"backend\": \"%s\", \"work\": %llu, \"span\": %llu, "
-                 "\"misses\": %llu}%s\n",
-                 json_escape(r.section).c_str(), json_escape(r.config).c_str(),
-                 r.n, json_escape(r.backend).c_str(),
-                 (unsigned long long)r.m.work, (unsigned long long)r.m.span,
-                 (unsigned long long)r.m.misses,
-                 i + 1 < rows().size() ? "," : "");
-  }
-  std::fprintf(f, "]\n");
-  std::fclose(f);
-  std::printf("\nwrote %zu measurement rows to %s\n", rows().size(), path);
-}
+using bench::record;
+using bench::write_json;
 
 std::vector<obl::Elem> grouped(size_t n, uint64_t groups, uint64_t seed) {
   util::Rng rng(seed);
@@ -210,8 +143,11 @@ int main() {
   bench::print_header(
       "Send-receive: every registered sorter backend",
       "rows per backend; Q naive_bitonic/bitonic_ca should grow ~log n "
-      "(M = 16 KiB so the working set exceeds the cache); osort realizes "
-      "the Table 2 sorting-bound configuration");
+      "(M = 16 KiB so the working set exceeds the cache); the full-sort "
+      "backends run their Practical configuration — ORP + REC-SORT for "
+      "osort, ORP + SPMS for spms — as a default-built Runtime would "
+      "(under Variant::Theoretical the two coincide by construction: "
+      "osort's theoretical comparison phase IS SPMS)");
   for (size_t n : {1u << 11, 1u << 12}) {
     util::Rng rng(n);
     std::vector<obl::Elem> sources(n), dests(n);
@@ -224,14 +160,20 @@ int main() {
     Measure ca{};  // the cache-agnostic baseline of this n, for ratios
     Measure naive{};
     for (const std::string& name : backend_names()) {
-      auto sorter = make_backend(name, BackendConfig{.seed = 7 * n});
+      auto sorter = make_backend(
+          name, BackendConfig{.seed = 7 * n,
+                              .variant = core::Variant::Practical,
+                              .params = {}});
       Measure m = measure(
           [&] {
             vec<obl::Elem> s(sources), d(dests), r(dests.size());
             obl::detail::send_receive(s.s(), d.s(), r.s(), *sorter);
           },
           true, kSmallM, bench::kB);
-      record("send_receive", "", n, name, m);
+      // config records the benched variant: snapshot rows must stay
+      // self-describing, or a cross-PR diff would compare measurements
+      // of different configurations under the same key.
+      record("send_receive", "practical", n, name, m);
       if (name == "bitonic_ca") ca = m;
       if (name == "naive_bitonic") naive = m;
       std::printf(

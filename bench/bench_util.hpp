@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/session.hpp"
 
@@ -43,6 +45,82 @@ Measure measure(F&& f, bool with_cache = true, uint64_t m_bytes = kM,
   out.span = s.cost().span;
   out.misses = s.cache() ? s.cache()->misses() : 0;
   return out;
+}
+
+// ---- machine-readable measurement rows (the BENCH_*.json schema) --------
+//
+// Every table bench appends each measured configuration as a Row and
+// writes them to BENCH_<bench>.json in the *current working directory*
+// (array of {section, config, n, backend, work, span, misses}; rewritten
+// per run). To refresh a committed snapshot, run the bench from the repo
+// root — or copy the file there — and commit it, so the perf trajectory
+// accumulates in the repo's history and regressions are diffable per PR.
+
+/// One emitted measurement row (mirrors the JSON schema).
+struct Row {
+  std::string section;
+  std::string config;
+  size_t n = 0;
+  std::string backend;
+  Measure m;
+};
+
+inline std::vector<Row>& rows() {
+  static std::vector<Row> r;
+  return r;
+}
+
+inline void record(std::string section, std::string config, size_t n,
+                   std::string backend, const Measure& m) {
+  rows().push_back(
+      Row{std::move(section), std::move(config), n, std::move(backend), m});
+}
+
+/// Minimal JSON string escaping: backend names come from the open
+/// registry, so quotes/backslashes/control bytes must not break the file.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Write every recorded row to `path` and report on stdout.
+inline void write_json(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows().size(); ++i) {
+    const Row& r = rows()[i];
+    std::fprintf(f,
+                 "  {\"section\": \"%s\", \"config\": \"%s\", \"n\": %zu, "
+                 "\"backend\": \"%s\", \"work\": %llu, \"span\": %llu, "
+                 "\"misses\": %llu}%s\n",
+                 json_escape(r.section).c_str(), json_escape(r.config).c_str(),
+                 r.n, json_escape(r.backend).c_str(),
+                 (unsigned long long)r.m.work, (unsigned long long)r.m.span,
+                 (unsigned long long)r.m.misses,
+                 i + 1 < rows().size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %zu measurement rows to %s\n", rows().size(), path);
 }
 
 inline double lg(double x) { return std::log2(x < 2 ? 2 : x); }

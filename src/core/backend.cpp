@@ -1,7 +1,7 @@
 // Sorter-backend registry implementation (see core/backend.hpp), plus the
-// "osort" backend — the one backend that cannot live header-only, because
-// it closes a cycle: the full oblivious sort's own bin placements consume
-// a SorterBackend, and the backend consumes the full sort.
+// "osort" and "spms" backends — the backends that cannot live header-only,
+// because they close a cycle: the full oblivious sorts' own bin placements
+// consume a SorterBackend, and the backends consume the full sorts.
 
 #include "core/backend.hpp"
 
@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "core/osort.hpp"
+#include "core/spms.hpp"
 #include "util/bits.hpp"
 #include "util/rng.hpp"
 
@@ -18,36 +19,52 @@ namespace dopar {
 
 namespace {
 
-/// Full-oblivious-sort backend (Theorem 3.2): canonical Elem-by-key sorts
-/// run the complete ORP + comparison-phase pipeline, realizing the Table 2
-/// sorting-bound rows inside the composite primitives. Non-canonical
-/// scratch orders fall back to the cache-agnostic network (the paper's
-/// "O(1) AKS sorts"). A per-call atomic counter freshens the seed so
-/// concurrent sorts never reuse randomness while identical construction
-/// replays identical randomness call-for-call.
-class OsortBackend final : public SorterBackend {
- public:
-  explicit OsortBackend(const BackendConfig& cfg)
-      : seed_(cfg.seed), variant_(cfg.variant), params_(cfg.params) {}
+/// Fit the configured params to a scratch-array size: composite primitives
+/// hand the full-sort backends arrays of varying (often much smaller)
+/// sizes than the caller's top-level ones, and the configured Z must keep
+/// beta = 2n/Z >= 1 after padding. Preserves the retry budget, which is
+/// size-independent.
+core::SortParams fit_params(core::SortParams p, size_t padded) {
+  if (p.Z == 0 || p.Z > padded) {
+    const int retries = p.max_retries;
+    p = core::SortParams::auto_for(padded);
+    p.max_retries = retries;
+  }
+  return p;
+}
 
-  std::string_view name() const override { return "osort"; }
+/// A full-oblivious-sort pipeline: ORP + a comparison phase, taking the
+/// backend itself as the scratch sorter for its internal bin placements.
+using FullSortEngine = void (*)(const slice<obl::Elem>&, uint64_t,
+                                core::Variant, core::SortParams,
+                                const SorterBackend&);
+
+/// Full-oblivious-sort backend (Theorem 3.2), shared by "osort" (ORP +
+/// the configured variant's comparison phase) and "spms" (ORP + the
+/// genuine Sample-Partition-Merge Sort): canonical Elem-by-key sorts run
+/// the complete pipeline, realizing the Table 2 sorting-bound rows inside
+/// the composite primitives. Non-canonical scratch orders fall back to
+/// the cache-agnostic network (the paper's "O(1) AKS sorts"). A per-call
+/// atomic counter freshens the seed so concurrent sorts never reuse
+/// randomness while identical construction replays identical randomness
+/// call-for-call (the engines draw no randomness beyond that seed).
+class FullSortBackend final : public SorterBackend {
+ public:
+  FullSortBackend(const char* name, FullSortEngine engine,
+                  const BackendConfig& cfg)
+      : name_(name),
+        engine_(engine),
+        seed_(cfg.seed),
+        variant_(cfg.variant),
+        params_(cfg.params) {}
+
+  std::string_view name() const override { return name_; }
 
   void sort(const slice<obl::Elem>& a) const override {
     const uint64_t call = calls_.fetch_add(1, std::memory_order_relaxed) + 1;
-    // The configured params target the caller's top-level arrays; the
-    // composite primitives hand this backend scratch arrays of varying
-    // (often much smaller) sizes. Apply the configured Z only when it
-    // fits this array (beta = 2n/Z must stay >= 1 after padding), else
-    // auto-tune the sizing fields for this size — preserving the
-    // configured retry budget, which is size-independent.
-    const size_t padded = util::pow2_ceil(a.size() < 2 ? 2 : a.size());
-    core::SortParams p = params_;
-    if (p.Z == 0 || p.Z > padded) {
-      const int retries = p.max_retries;
-      p = core::SortParams::auto_for(padded);
-      p.max_retries = retries;
-    }
-    core::detail::osort(a, util::hash_rand(seed_, call), variant_, p, *this);
+    const core::SortParams p =
+        fit_params(params_, util::pow2_ceil(a.size() < 2 ? 2 : a.size()));
+    engine_(a, util::hash_rand(seed_, call), variant_, p, *this);
   }
   void sort(const slice<obl::Elem>& a,
             LessFn<obl::Elem> less) const override {
@@ -63,6 +80,8 @@ class OsortBackend final : public SorterBackend {
   }
 
  private:
+  const char* name_;
+  FullSortEngine engine_;
   uint64_t seed_;
   core::Variant variant_;
   core::SortParams params_;
@@ -95,7 +114,12 @@ Registry& registry() {
     reg->factories.emplace(
         "odd_even", network_factory<obl::OddEvenSorter>("odd_even"));
     reg->factories.emplace("osort", [](const BackendConfig& cfg) {
-      return std::make_shared<const OsortBackend>(cfg);
+      return std::make_shared<const FullSortBackend>(
+          "osort", &core::detail::osort, cfg);
+    });
+    reg->factories.emplace("spms", [](const BackendConfig& cfg) {
+      return std::make_shared<const FullSortBackend>(
+          "spms", &core::detail::spms_osort, cfg);
     });
     return reg;
   }();

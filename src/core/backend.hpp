@@ -14,8 +14,10 @@
 // E.1), "bitonic" (depth-first recursive bitonic), "naive_bitonic"
 // (layer-by-layer PRAM schedule — the "prior best" columns), "odd_even"
 // (Batcher network, AKS stand-in), "osort" (the full oblivious sort of
-// Theorem 3.2 — the Table 2 sorting-bound rows). The registry is open:
-// register_backend() makes a future SPMS backend one call.
+// Theorem 3.2 — the Table 2 sorting-bound rows), "spms" (the full sort
+// with the genuine Sample-Partition-Merge comparison phase, core/spms.hpp
+// — the paper's optimal configuration). The registry stays open:
+// register_backend() adds or replaces a named backend in one call.
 //
 // Interface shape: the primitives express every order either as the
 // canonical "Elem ascending by key" (which a full oblivious *sort* such as
@@ -72,8 +74,8 @@ class SorterBackend {
 
   /// Canonical order: Elem ascending by key — the order every composite
   /// primitive packs its scratch phases into. Sort-algorithm backends
-  /// ("osort", a future SPMS) realize it with the full oblivious sort;
-  /// network backends run their comparator network.
+  /// ("osort", "spms") realize it with the full oblivious sort; network
+  /// backends run their comparator network.
   virtual void sort(const slice<obl::Elem>& a) const = 0;
 
   /// Comparison sorts over the closed set of fixed-size records the

@@ -5,8 +5,9 @@
 //
 // Pipeline: oblivious random permutation (REC-ORBA + per-bin shuffle), then
 // any comparison-based sort of the permuted array:
-//   * Variant::Theoretical — parallel merge sort (our SPMS stand-in;
-//     substitution #2 in DESIGN.md). Work O(n log n), cache
+//   * Variant::Theoretical — SPMS (Sample-Partition-Merge Sort,
+//     core/spms.hpp; the genuine algorithm, replacing the former
+//     parallel-merge-sort stand-in). Work O(n log n), cache
 //     O((n/B) log_M n), span polylog.
 //   * Variant::Practical  — the paper's self-contained variant: pivot
 //     selection + REC-SORT + per-bin bitonic. Work O(n log n loglog n),
@@ -38,8 +39,8 @@
 #include "core/orp.hpp"
 #include "core/params.hpp"
 #include "core/recsort.hpp"
+#include "core/spms.hpp"
 #include "forkjoin/api.hpp"
-#include "insecure/mergesort.hpp"
 #include "obl/elem.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
@@ -84,7 +85,7 @@ inline void osort(const slice<obl::Elem>& a, uint64_t seed,
 
     try {
       if (variant == Variant::Theoretical) {
-        insecure::merge_sort(perm.first(n), LessKeyExtra{});
+        spms_sort(perm.first(n), SpmsTuning::auto_for(Variant::Theoretical));
       } else {
         rec_sort(perm, util::hash_rand(seed, 77'000 + attempt), params);
       }

@@ -82,21 +82,29 @@ void merge_par(const slice<T>& a, const slice<T>& b, const slice<T>& out,
       });
 }
 
+/// Serial insertion sort — the recursion base here and of the SPMS engine
+/// (core/spms.cpp), shared so the tick accounting cannot diverge between
+/// the two comparison sorts.
+template <class T, class Less>
+void insertion_sort(const slice<T>& a, const Less& less) {
+  for (size_t i = 1; i < a.size(); ++i) {
+    T x = a[i];
+    size_t j = i;
+    while (j > 0 && less(x, a[j - 1])) {
+      sim::tick(1);
+      a[j] = a[j - 1];
+      --j;
+    }
+    sim::tick(1);
+    a[j] = x;
+  }
+}
+
 template <class T, class Less>
 void msort_rec(const slice<T>& a, const slice<T>& tmp, const Less& less) {
   const size_t n = a.size();
   if (n <= 32) {
-    for (size_t i = 1; i < n; ++i) {  // insertion sort
-      T x = a[i];
-      size_t j = i;
-      while (j > 0 && less(x, a[j - 1])) {
-        sim::tick(1);
-        a[j] = a[j - 1];
-        --j;
-      }
-      sim::tick(1);
-      a[j] = x;
-    }
+    insertion_sort(a, less);
     return;
   }
   const size_t mid = n / 2;

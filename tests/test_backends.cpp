@@ -31,19 +31,19 @@ namespace {
 
 using obl::Elem;
 
-/// The parity/determinism sweeps pin the builtin set rather than
-/// sweeping backend_names(): tests elsewhere in this binary register
-/// extra process-global backends (e.g. "probe"), and sweep membership
-/// must not depend on test execution order.
-std::vector<std::string> builtin_backends() {
-  return {"bitonic", "bitonic_ca", "naive_bitonic", "odd_even", "osort"};
-}
+/// The parity/determinism sweeps iterate the live registry, so every
+/// registered backend — the builtins, "spms", and anything a test in this
+/// binary registers later (e.g. "probe") — is covered with no test edits.
+/// That is safe order-independently because the properties asserted
+/// (functional parity, digest replay) are part of the SorterBackend
+/// contract itself, not of any particular name.
+std::vector<std::string> all_backends() { return backend_names(); }
 
 TEST(BackendRegistry, ListsTheBuiltins) {
   const auto names = backend_names();
   const std::set<std::string> have(names.begin(), names.end());
-  for (const char* want :
-       {"bitonic", "bitonic_ca", "naive_bitonic", "odd_even", "osort"}) {
+  for (const char* want : {"bitonic", "bitonic_ca", "naive_bitonic",
+                           "odd_even", "osort", "spms"}) {
     EXPECT_TRUE(have.count(want)) << want;
   }
 }
@@ -64,7 +64,7 @@ TEST(BackendParity, SortProducesIdenticalOutputOnEveryBackend) {
   for (size_t i = n; i > 1; --i) std::swap(in[i - 1], in[rng.below(i)]);
 
   std::vector<std::pair<uint64_t, uint64_t>> golden;
-  for (const std::string& name : builtin_backends()) {
+  for (const std::string& name : all_backends()) {
     auto rt = Runtime::builder().seed(42).backend(name).build();
     EXPECT_EQ(rt.backend().name(), name);
     vec<Elem> v(in);
@@ -89,7 +89,7 @@ TEST(BackendParity, BinAssignRoutesEveryElementToTheSameBin) {
   }
   // The (element -> bin) map is a function of the Runtime seed alone.
   std::map<std::string, std::multiset<uint64_t>> golden;
-  for (const std::string& name : builtin_backends()) {
+  for (const std::string& name : all_backends()) {
     auto rt = Runtime::builder().seed(9).backend(name).build();
     vec<Elem> v(in);
     core::OrbaOutput out = rt.bin_assign(v.s());
@@ -122,7 +122,7 @@ TEST(BackendParity, SendReceiveResultsAreBackendIndependent) {
   for (size_t i = 0; i < nd; ++i) dests[i].key = rng.below(3 * ns);
 
   std::vector<std::pair<uint64_t, bool>> golden;
-  for (const std::string& name : builtin_backends()) {
+  for (const std::string& name : all_backends()) {
     auto rt = Runtime::builder().seed(21).backend(name).build();
     vec<Elem> s(sources), d(dests), r(nd);
     rt.send_receive(s.s(), d.s(), r.s());
@@ -168,7 +168,7 @@ TEST(BackendDeterminism, EveryBackendReplaysItsTraceDigest) {
   };
 
   std::map<std::string, std::vector<uint64_t>> seen;
-  for (const std::string& name : builtin_backends()) {
+  for (const std::string& name : all_backends()) {
     const auto a = digests(name);
     const auto b = digests(name);
     EXPECT_EQ(a, b) << name;  // replayable per backend
@@ -179,6 +179,10 @@ TEST(BackendDeterminism, EveryBackendReplaysItsTraceDigest) {
   // backend by name must actually change the executed schedule.
   EXPECT_NE(seen["bitonic_ca"], seen["naive_bitonic"]);
   EXPECT_NE(seen["bitonic_ca"], seen["osort"]);
+  // The SPMS comparison phase schedules differently from REC-SORT, so the
+  // two full-sort backends are distinguishable end-to-end as well.
+  EXPECT_NE(seen["spms"], seen["osort"]);
+  EXPECT_NE(seen["spms"], seen["bitonic_ca"]);
 }
 
 // ---- SortOptions: per-call override --------------------------------------
@@ -314,7 +318,9 @@ TEST(BackendRegistry, RegisteredBackendIsSelectableByNameEndToEnd) {
 // ---- error paths ----------------------------------------------------------
 
 TEST(BackendErrors, UnknownNameThrowsAtBuildAndAtCall) {
-  EXPECT_THROW(Runtime::builder().backend("spms").build(), UnknownBackend);
+  // ("spms" used to be the canonical not-yet-registered name here; it is
+  // a real backend now, so an AKS network stands in as the hypothetical.)
+  EXPECT_THROW(Runtime::builder().backend("aks").build(), UnknownBackend);
 
   auto rt = Runtime::builder().seed(1).build();
   vec<Elem> v(std::vector<Elem>(16));
