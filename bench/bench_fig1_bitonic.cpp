@@ -6,14 +6,23 @@
 // obl::bitonic_sort must contain exactly (n/2) * log n * (log n + 1) / 2
 // comparators arranged in those layers, and the network must sort every
 // 0/1 input (zero-one principle, exhaustively verified).
+//
+// Emits the shared BENCH_*.json row schema (bench_util.hpp) into
+// BENCH_fig1.json: per size, the network's closed-form comparator count /
+// depth (config "network", work = comparators, span = layers) and the
+// measured analytic work/span/cache of the executed bitonic sort (config
+// "bitonic_sort") — all deterministic counts, diffable across PRs by the
+// CI snapshot check.
 
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "obl/bitonic.hpp"
 #include "obl/elem.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
+#include "util/rng.hpp"
 
 namespace dopar {
 namespace {
@@ -117,5 +126,35 @@ int main() {
               sorts_all ? "yes" : "NO");
   std::printf("bitonic_sort() implementation agrees:    %s\n",
               impl_ok ? "yes" : "NO");
+
+  // ---- measurement rows (the shared BENCH_*.json schema) ----------------
+  bench::print_header("Figure 1 measurement rows",
+                      "n | network comparators/depth | measured bitonic "
+                      "sort W / S / Q");
+  for (size_t sz : {size_t{16}, size_t{256}, size_t{4096}, size_t{65536}}) {
+    const unsigned ln = util::log2_exact(sz);
+    const uint64_t comparators = obl::bitonic_comparator_count(sz);
+    const uint64_t depth = uint64_t{ln} * (ln + 1) / 2;
+    bench::record("fig1", "network", sz, "bitonic",
+                  bench::Measure{comparators, depth, 0});
+
+    const auto m = bench::measure([&] {
+      util::Rng rng(7 + sz);
+      vec<obl::Elem> v(sz);
+      for (size_t i = 0; i < sz; ++i) {
+        v.underlying()[i].key = rng() >> 1;
+      }
+      obl::bitonic_sort(v.s());
+    });
+    // obl::bitonic_sort is the depth-first recursive network — the
+    // "bitonic" backend, not the cache-agnostic "bitonic_ca" variant.
+    bench::record("fig1", "bitonic_sort", sz, "bitonic", m);
+    std::printf("n=%-6zu | C=%-9llu d=%-4llu | W=%-11llu S=%-8llu Q=%llu\n",
+                sz, (unsigned long long)comparators,
+                (unsigned long long)depth, (unsigned long long)m.work,
+                (unsigned long long)m.span, (unsigned long long)m.misses);
+  }
+  bench::write_json("BENCH_fig1.json");
+
   return count_ok && sorts_all && impl_ok ? 0 : 1;
 }

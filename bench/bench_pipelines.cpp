@@ -1,0 +1,136 @@
+// Concurrent-pipeline scheduling benchmark: two pipelines — connected
+// components over a social graph and a minimum spanning forest over a
+// sensor mesh — submitted together to ONE Runtime, timed under each
+// scheduler policy (sched/scheduler.hpp):
+//
+//   exclusive   primitives serialize on the execution mutex (the
+//               pre-scheduler behavior; the serialized baseline),
+//   sliced      each primitive leases a disjoint worker slice,
+//   stealing    sliced + idle slices steal from busy ones.
+//
+// Emits one row per policy into BENCH_pipelines.json via the shared
+// BENCH_*.json schema: wall-clock microseconds of the joint run in the
+// `work` column (bench::record_wall) — machine-dependent timing rows, so
+// the CI snapshot diff reports them without gating. This tracks the
+// scheduler's overlap win in the perf trajectory from day one: on >= 4
+// hardware threads, sliced/stealing rows should sit visibly below the
+// exclusive row; on fewer threads all three converge (nothing to
+// overlap), which is itself worth seeing in the snapshot.
+//
+// Results are oracle-checked every repetition (exit code 1 on any
+// mismatch): scheduling must never change WHAT the pipelines compute.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dopar.hpp"
+#include "insecure/graph.hpp"
+
+namespace {
+
+using namespace dopar;
+
+struct Graphs {
+  size_t n_social = 1 << 10;
+  size_t n_mesh = 1 << 9;
+  std::vector<GEdge> social;
+  std::vector<GEdge> mesh;
+};
+
+Graphs make_graphs() {
+  Graphs g;
+  util::Rng rng(11);
+  // Two communities plus weak random bridges (distinct odd weights).
+  auto add = [&](uint32_t u, uint32_t v) {
+    g.social.push_back(
+        GEdge{u, v, static_cast<uint64_t>(g.social.size() * 2 + 1)});
+  };
+  const size_t n = g.n_social;
+  for (uint32_t v = 1; v < n / 2; ++v) {
+    add(static_cast<uint32_t>(rng.below(v)), v);
+  }
+  for (uint32_t v = static_cast<uint32_t>(n / 2 + 1); v < n; ++v) {
+    add(static_cast<uint32_t>(n / 2 + rng.below(v - n / 2)), v);
+  }
+  // Ring + chords sensor mesh with distinct weights.
+  const size_t nm = g.n_mesh;
+  for (uint32_t v = 0; v < nm; ++v) {
+    g.mesh.push_back(GEdge{v, static_cast<uint32_t>((v + 1) % nm),
+                           static_cast<uint64_t>(2 * v + 1)});
+  }
+  for (int k = 0; k < static_cast<int>(nm / 2); ++k) {
+    const uint32_t u = static_cast<uint32_t>(rng.below(nm));
+    const uint32_t v = static_cast<uint32_t>(rng.below(nm));
+    if (u == v) continue;
+    g.mesh.push_back(GEdge{
+        u, v, static_cast<uint64_t>(2 * nm + 2 * g.mesh.size() + 1)});
+  }
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  const Graphs g = make_graphs();
+  const auto cc_want = insecure::cc_oracle(g.n_social, g.social);
+  const uint64_t msf_want = insecure::msf_weight_oracle(g.n_mesh, g.mesh);
+  const size_t total_edges = g.social.size() + g.mesh.size();
+
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 4;
+  const unsigned threads = std::min(hw, 8u);
+  constexpr int reps = 3;
+
+  bench::print_header(
+      "Concurrent pipelines (CC + MSF, one Runtime)",
+      "policy | best-of-3 wall ms | results vs oracles");
+  std::printf("threads=%u social |V|=%zu |E|=%zu mesh |V|=%zu |E|=%zu\n",
+              threads, g.n_social, g.social.size(), g.n_mesh,
+              g.mesh.size());
+
+  bool all_ok = true;
+  for (sched::SchedPolicy policy :
+       {sched::SchedPolicy::Exclusive, sched::SchedPolicy::Sliced,
+        sched::SchedPolicy::Stealing}) {
+    double best_ms = 0;
+    bool ok = true;
+    for (int rep = 0; rep < reps; ++rep) {
+      auto rt = Runtime::builder()
+                    .threads(threads)
+                    .seed(13)
+                    .scheduler(policy)
+                    .build();
+      const auto t0 = std::chrono::steady_clock::now();
+      auto cc_fut = rt.submit(
+          [&] { return rt.connected_components(g.n_social, g.social); });
+      auto msf_fut = rt.submit([&]() -> uint64_t {
+        auto flags = rt.msf(g.n_mesh, g.mesh);
+        uint64_t total = 0;
+        for (size_t e = 0; e < g.mesh.size(); ++e) {
+          if (flags[e]) total += g.mesh[e].w;
+        }
+        return total;
+      });
+      const auto labels = cc_fut.get();
+      const uint64_t msf_total = msf_fut.get();
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+      ok = ok && labels == cc_want && msf_total == msf_want;
+    }
+    all_ok = all_ok && ok;
+    const std::string name(sched::to_string(policy));
+    bench::record_wall("pipelines", name, total_edges, "bitonic_ca",
+                       best_ms * 1000.0);
+    std::printf("%-9s | %10.1f ms | %s\n", name.c_str(), best_ms,
+                ok ? "match" : "MISMATCH");
+  }
+
+  bench::write_json("BENCH_pipelines.json");
+  return all_ok ? 0 : 1;
+}

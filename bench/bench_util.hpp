@@ -76,6 +76,18 @@ inline void record(std::string section, std::string config, size_t n,
       Row{std::move(section), std::move(config), n, std::move(backend), m});
 }
 
+/// Wall-clock row: microseconds in the `work` column, span/misses zero.
+/// Unlike the analytic counters these are machine- and load-dependent, so
+/// the CI snapshot diff (scripts/check_bench_snapshots.py) reports them
+/// without gating on them — list the section in its WALL_CLOCK_SECTIONS.
+inline void record_wall(std::string section, std::string config, size_t n,
+                        std::string backend, double micros) {
+  Measure m;
+  m.work = static_cast<uint64_t>(micros < 0 ? 0 : micros);
+  rows().push_back(Row{std::move(section), std::move(config), n,
+                       std::move(backend), m});
+}
+
 /// Minimal JSON string escaping: backend names come from the open
 /// registry, so quotes/backslashes/control bytes must not break the file.
 inline std::string json_escape(const std::string& s) {

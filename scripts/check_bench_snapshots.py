@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Diff freshly generated BENCH_*.json files against the committed snapshots.
+
+Usage:
+    check_bench_snapshots.py SNAPSHOT_DIR FRESH_DIR FILE [FILE ...]
+
+Every bench emits rows of the shared schema (bench/bench_util.hpp):
+    {"section", "config", "n", "backend", "work", "span", "misses"}
+
+Rows are keyed by (section, config, n, backend). For keys present on both
+sides the analytic counters are compared:
+
+  * a metric that grew by more than REGRESSION_TOLERANCE (20%) on a
+    matching row is a REGRESSION and fails the check (exit 1);
+  * a metric that shrank by more than 20% is reported as an improvement
+    (informational — refresh the snapshot to bank it);
+  * rows only on one side (schema / row-set changes, e.g. a bench grew a
+    new configuration) are reported, never fatal;
+  * sections listed in WALL_CLOCK_SECTIONS carry machine-dependent
+    wall-clock timings, not deterministic analytic counts: they are
+    reported for trend-watching but never gate.
+
+A missing fresh file fails (the bench did not run); a missing committed
+snapshot is reported (first run of a new bench — commit it).
+"""
+
+import json
+import os
+import sys
+
+REGRESSION_TOLERANCE = 0.20
+METRICS = ("work", "span", "misses")
+# Sections whose rows are wall-clock timings (bench::record_wall): noisy
+# and machine-dependent by nature, so report-only.
+WALL_CLOCK_SECTIONS = {"pipelines"}
+
+
+def load_rows(path):
+    with open(path) as f:
+        rows = json.load(f)
+    keyed = {}
+    for row in rows:
+        key = (row["section"], row["config"], row["n"], row["backend"])
+        # Benches may legitimately emit one key several times (e.g. retry
+        # sweeps); disambiguate by occurrence index so nothing is dropped.
+        idx = 0
+        while (key + (idx,)) in keyed:
+            idx += 1
+        keyed[key + (idx,)] = row
+    return keyed
+
+
+def fmt_key(key):
+    section, config, n, backend, idx = key
+    tag = f"{section}/{config} n={n}"
+    if backend:
+        tag += f" backend={backend}"
+    if idx:
+        tag += f" #{idx}"
+    return tag
+
+
+def main():
+    if len(sys.argv) < 4:
+        sys.stderr.write(__doc__)
+        return 2
+    snap_dir, fresh_dir = sys.argv[1], sys.argv[2]
+    files = sys.argv[3:]
+
+    regressions = []
+    notes = []
+
+    for name in files:
+        snap_path = os.path.join(snap_dir, name)
+        fresh_path = os.path.join(fresh_dir, name)
+        if not os.path.exists(fresh_path):
+            regressions.append(f"{name}: fresh file missing — did the bench "
+                               "run in the build directory?")
+            continue
+        if not os.path.exists(snap_path):
+            notes.append(f"{name}: no committed snapshot yet — commit the "
+                         "fresh file to start the trajectory")
+            continue
+        snap = load_rows(snap_path)
+        fresh = load_rows(fresh_path)
+
+        for key in sorted(snap.keys() - fresh.keys()):
+            notes.append(f"{name}: row disappeared: {fmt_key(key)}")
+        for key in sorted(fresh.keys() - snap.keys()):
+            notes.append(f"{name}: new row (not in snapshot): "
+                         f"{fmt_key(key)}")
+
+        for key in sorted(snap.keys() & fresh.keys()):
+            wall = key[0] in WALL_CLOCK_SECTIONS
+            for metric in METRICS:
+                old = snap[key].get(metric, 0)
+                new = fresh[key].get(metric, 0)
+                if old == 0:
+                    if new != 0 and not wall:
+                        notes.append(f"{name}: {fmt_key(key)} {metric}: "
+                                     f"0 -> {new}")
+                    continue
+                rel = (new - old) / old
+                line = (f"{name}: {fmt_key(key)} {metric}: {old} -> {new} "
+                        f"({rel:+.1%})")
+                if wall:
+                    if abs(rel) > REGRESSION_TOLERANCE:
+                        notes.append(line + " [wall-clock: report-only]")
+                elif rel > REGRESSION_TOLERANCE:
+                    regressions.append(line)
+                elif rel < -REGRESSION_TOLERANCE:
+                    notes.append(line + " [improvement: refresh snapshot]")
+
+    if notes:
+        print(f"--- {len(notes)} note(s) (non-fatal) ---")
+        for n in notes:
+            print("  " + n)
+    if regressions:
+        print(f"--- {len(regressions)} REGRESSION(S) (>"
+              f"{REGRESSION_TOLERANCE:.0%} on a matching row) ---")
+        for r in regressions:
+            print("  " + r)
+        print("If intentional (e.g. an algorithm now does strictly more "
+              "work), refresh the committed BENCH_*.json and explain in "
+              "the PR.")
+        return 1
+    print(f"bench snapshots OK ({len(files)} file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

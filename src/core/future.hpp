@@ -7,10 +7,19 @@
 // failure types if they escape the job). The wrapper exists so the façade
 // vocabulary stays dopar-owned and can grow (then-chaining, cancellation)
 // without re-plumbing call sites.
+//
+// Blocking rule, enforced: a Future also carries its job's lifecycle
+// state (sched/job.hpp), and get()/wait() called from inside a submitted
+// job of the same runtime throw std::logic_error when the awaited job has
+// not started yet — the wait could otherwise deadlock the runtime's
+// bounded job-worker set, and used to hang forever.
 
 #include <chrono>
 #include <future>
+#include <memory>
 #include <utility>
+
+#include "sched/job.hpp"
 
 namespace dopar {
 
@@ -24,12 +33,24 @@ class Future {
   Future& operator=(Future&&) noexcept = default;
 
   /// Block until the job completes; returns its result or rethrows its
-  /// exception. Consumes the future (one-shot, like std::future).
-  T get() { return fut_.get(); }
+  /// exception. Consumes the future (one-shot, like std::future). Throws
+  /// std::logic_error instead of deadlocking when called from inside a
+  /// submitted job on a job that has not started (see the blocking rule
+  /// above).
+  T get() {
+    sched::check_wait_from_job(state_);
+    return fut_.get();
+  }
 
-  /// Block until the job completes without consuming the result.
-  void wait() const { fut_.wait(); }
+  /// Block until the job completes without consuming the result. Applies
+  /// the same blocking rule as get().
+  void wait() const {
+    sched::check_wait_from_job(state_);
+    fut_.wait();
+  }
 
+  /// Timed wait: never deadlocks, so the blocking rule does not apply —
+  /// polling a queued job from inside another job is legitimate.
   template <class Rep, class Period>
   std::future_status wait_for(
       const std::chrono::duration<Rep, Period>& d) const {
@@ -41,8 +62,10 @@ class Future {
 
  private:
   friend class Runtime;
-  explicit Future(std::future<T> f) : fut_(std::move(f)) {}
+  Future(std::future<T> f, std::shared_ptr<sched::JobState> state)
+      : fut_(std::move(f)), state_(std::move(state)) {}
   std::future<T> fut_;
+  std::shared_ptr<sched::JobState> state_;
 };
 
 }  // namespace dopar

@@ -12,10 +12,14 @@
 //   auto labels = rt.connected_components(n, edges);
 //
 // It owns:
-//   * its fork-join pool (threads > 1). Pools are installed per-thread
-//     (fj::ScopedPool) for the duration of each method call, so two
-//     Runtimes with independent pools can serve different pipelines in the
-//     same process.
+//   * its scheduler (sched/scheduler.hpp), which owns the fork-join worker
+//     arena (threads > 1) and the submit() job workers. Pools are
+//     installed per-thread (fj::ScopedPool) for the duration of each
+//     method call, so two Runtimes with independent pools can serve
+//     different pipelines in the same process; within one Runtime, the
+//     builder's .scheduler(policy) decides whether concurrent pipelines
+//     serialize their primitives (Exclusive, default) or execute them in
+//     parallel on leased worker slices (Sliced / Stealing).
 //   * its sorter backend: the named entry of the backend registry
 //     (core/backend.hpp) every sorter-parametric primitive routes through.
 //     Builder .backend("odd_even") selects it per Runtime; every such
@@ -30,27 +34,30 @@
 //     arguments anymore, and two Runtimes built identically replay
 //     identical randomness call-for-call (seed-determinism).
 //
-// Async submission: submit(fn) enqueues fn onto the Runtime's own worker
-// threads and returns a dopar::Future<T>. The job runs with the Runtime's
-// pool installed thread-locally (as with_env does per method call), so a
-// job body typically just calls Runtime methods; several submitted
-// pipelines share the Runtime, their primitive calls serialize internally,
-// and everything between primitives (input prep, result assembly,
-// client-side reordering) overlaps. Exceptions propagate through
-// Future::get().
+// Async submission: submit(fn) enqueues fn onto the Runtime's scheduler
+// (sched/scheduler.hpp) and returns a dopar::Future<T>. The job runs with
+// the Runtime's pool installed thread-locally (as with_env does per method
+// call), so a job body typically just calls Runtime methods. How the
+// primitives of concurrent jobs share the machine is the Builder's
+// .scheduler(policy) choice: under SchedPolicy::Exclusive (default, the
+// classic behavior) primitives serialize on an execution mutex and only
+// the glue between them overlaps; under Sliced/Stealing each primitive
+// call leases a slice of the worker arena and concurrent pipelines
+// genuinely run in parallel. Exceptions propagate through Future::get().
 //
-// Thread-safety: method calls on one Runtime are serialized by an internal
-// mutex; submit() may be called from any thread. Determinism holds per
-// Runtime for a deterministic sequence of method calls (concurrent
-// submitted pipelines draw seeds in completion order — give each pipeline
-// its own Runtime when replayability across pipelines matters).
+// Thread-safety: any method may be called from any thread; under the
+// Exclusive policy primitive calls serialize internally, under
+// Sliced/Stealing they run concurrently on disjoint worker slices.
+// Determinism: a deterministic sequence of synchronous method calls
+// replays call-for-call (counter-derived seeds). Every submitted job
+// additionally draws from its own seed stream, indexed by submission
+// order — so per-pipeline outputs are deterministic under contention, no
+// matter how the scheduler interleaves the pipelines or how many threads
+// execute them.
 
 #include <atomic>
 #include <cassert>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -78,6 +85,7 @@
 #include "obl/aggregate.hpp"
 #include "obl/elem.hpp"
 #include "obl/sendrecv.hpp"
+#include "sched/scheduler.hpp"
 #include "sim/session.hpp"
 #include "sim/tracked.hpp"
 #include "util/rng.hpp"
@@ -124,6 +132,17 @@ class Runtime {
       backend_name_ = std::string(name);
       return *this;
     }
+    /// How concurrent pipelines share the worker arena (see
+    /// sched/scheduler.hpp): Exclusive (default) serializes primitives on
+    /// an execution mutex exactly like the pre-scheduler Runtime; Sliced
+    /// partitions the workers across the active pipelines; Stealing
+    /// additionally lets idle slices steal from busy ones. Irrelevant for
+    /// instrumented Runtimes (the analytic executor is serial by
+    /// construction).
+    Builder& scheduler(sched::SchedPolicy p) {
+      policy_ = p;
+      return *this;
+    }
     /// Work/span accounting (serial analytic execution).
     Builder& analytic() {
       analytic_ = true;
@@ -154,6 +173,7 @@ class Runtime {
     core::SortParams params_{};
     core::Variant variant_ = core::Variant::Practical;
     std::string backend_name_ = "bitonic_ca";
+    sched::SchedPolicy policy_ = sched::SchedPolicy::Exclusive;
     bool analytic_ = false;
     uint64_t cache_m_ = 0;
     uint64_t cache_b_ = 64;
@@ -165,14 +185,8 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  ~Runtime() {
-    {
-      std::lock_guard<std::mutex> lk(jobs_m_);
-      jobs_closed_ = true;
-    }
-    jobs_cv_.notify_all();
-    for (std::thread& t : submit_threads_) t.join();
-  }
+  // Destruction drains still-queued jobs (executing them), joins the job
+  // workers, then tears down the arena — all inside ~Scheduler.
 
   // ---- oblivious primitives (paper Sections 3-4) ----------------------
 
@@ -373,71 +387,63 @@ class Runtime {
 
   // ---- async submission ------------------------------------------------
 
-  /// Enqueue `fn` on this Runtime's submission workers and return a
-  /// Future for its result. A job body drives parallelism by calling
-  /// Runtime methods (each installs and runs the pool, as every method
-  /// call does); direct fj:: primitives in the body execute serially,
-  /// exactly as on any other non-worker thread. Up to kMaxSubmitWorkers
-  /// jobs execute concurrently, their primitive calls serializing on the
-  /// Runtime while everything in between overlaps.
-  /// Exceptions thrown by `fn` surface at Future::get(). Jobs still
-  /// queued when the Runtime is destroyed are executed (drained) first.
+  /// Enqueue `fn` on this Runtime's scheduler and return a Future for its
+  /// result. A job body drives parallelism by calling Runtime methods
+  /// (each leases the pool per call); direct fj:: primitives in the body
+  /// execute serially, exactly as on any other non-worker thread. Up to
+  /// kMaxSubmitWorkers jobs execute concurrently; whether their primitive
+  /// calls serialize (Exclusive) or overlap on worker slices
+  /// (Sliced/Stealing) is the Builder's .scheduler() policy. Exceptions
+  /// thrown by `fn` surface at Future::get(). Jobs still queued when the
+  /// Runtime is destroyed are executed (drained) first.
   ///
-  /// Do NOT block inside a job on the Future of another submitted job:
-  /// the worker set is capped at kMaxSubmitWorkers, so a wait-chain
-  /// longer than the cap deadlocks (the awaited job never gets a
-  /// worker). Submit independent pipelines; join their Futures from
-  /// outside, or from a job that only awaits work submitted before it.
+  /// Seeds: each job draws from its own seed stream, derived from the
+  /// master seed and the job's submission index — so a pipeline's outputs
+  /// are a function of (builder config, submission order, its own call
+  /// sequence) and replay deterministically no matter how jobs interleave
+  /// or which policy runs them.
+  ///
+  /// Blocking rule: do not block inside a job on the Future of a job that
+  /// has not started — the worker set is capped at kMaxSubmitWorkers, so
+  /// such a wait can deadlock. Future::get()/wait() detect this case and
+  /// throw std::logic_error instead of hanging.
   template <class F>
   auto submit(F fn) -> Future<std::invoke_result_t<F&>> {
     using R = std::invoke_result_t<F&>;
+    const uint64_t ticket =
+        jobs_submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const uint64_t stream =
+        util::hash_rand(seed_, kJobStreamTag ^ ticket);
+    auto state = std::make_shared<sched::JobState>();
     auto task = std::make_shared<std::packaged_task<R()>>(
-        [this, fn = std::move(fn)]() mutable -> R {
+        [this, fn = std::move(fn), stream]() mutable -> R {
+          // Give the job its own seed stream for the duration of the
+          // body: every fresh_seed() drawn by a Runtime method the job
+          // calls comes from (stream, per-job counter), not the shared
+          // synchronous counter.
+          JobSeedCtx ctx{this, stream, 0, tls_job_ctx()};
+          struct CtxGuard {
+            JobSeedCtx* prev;
+            ~CtxGuard() { tls_job_ctx() = prev; }
+          } guard{ctx.prev};
+          tls_job_ctx() = &ctx;
           // Make the Runtime's pool this thread's current pool for the
           // job's duration. Note this alone does not parallelize direct
           // fj:: calls (the job thread is not a pool worker); Runtime
-          // methods called by the body run the pool themselves.
-          if (pool_) {
-            fj::ScopedPool guard(*pool_);
+          // methods called by the body lease and run the pool themselves.
+          if (fj::Pool* p = sched_->pool()) {
+            fj::ScopedPool pguard(*p);
             return fn();
           }
           return fn();
         });
-    Future<R> fut(task->get_future());
-    {
-      std::lock_guard<std::mutex> lk(jobs_m_);
-      // Fail fast (also in Release): a job enqueued after shutdown would
-      // never run and its Future would hang forever.
-      if (jobs_closed_) {
-        throw std::logic_error("Runtime::submit: runtime is shutting down");
-      }
-      jobs_.emplace_back([task] { (*task)(); });
-      // Lazily grow the submission worker set while jobs outnumber
-      // workers (capped): a Runtime that never submits pays nothing.
-      if (submit_threads_.size() < kMaxSubmitWorkers &&
-          submit_threads_.size() < jobs_.size() + running_jobs_) {
-        try {
-          submit_threads_.emplace_back([this] { submit_loop(); });
-        } catch (...) {
-          if (submit_threads_.empty()) {
-            // No worker exists to ever run the job: un-queue it and let
-            // the caller see the failure (otherwise the job would be
-            // silently dropped at destruction — or run twice if the
-            // caller resubmitted after catching).
-            jobs_.pop_back();
-            throw;
-          }
-          // Existing workers will drain the queue; only the extra
-          // concurrency is lost.
-        }
-      }
-    }
-    jobs_cv_.notify_one();
+    Future<R> fut(task->get_future(), state);
+    sched_->enqueue([task] { (*task)(); }, std::move(state));
     return fut;
   }
 
   /// Maximum number of concurrently executing submitted jobs.
-  static constexpr size_t kMaxSubmitWorkers = 4;
+  static constexpr size_t kMaxSubmitWorkers = sched::Scheduler::kMaxJobWorkers;
 
   // ---- tracked-buffer helpers -----------------------------------------
 
@@ -483,7 +489,11 @@ class Runtime {
   bool instrumented() const { return session_ != nullptr; }
   /// Total native parallelism (1 = serial; instrumented Runtimes are
   /// always serial).
-  unsigned threads() const { return pool_ ? pool_->workers() : 1; }
+  unsigned threads() const { return sched_ ? sched_->parallelism() : 1; }
+  /// The scheduler policy concurrent pipelines execute under.
+  sched::SchedPolicy scheduler_policy() const {
+    return sched_ ? sched_->policy() : sched::SchedPolicy::Exclusive;
+  }
   uint64_t master_seed() const { return seed_; }
   core::SortParams params() const { return params_; }
   core::Variant variant() const { return variant_; }
@@ -514,15 +524,42 @@ class Runtime {
       if (b.cache_m_ != 0) (void)std::move(s).with_cache(b.cache_m_, b.cache_b_);
       if (b.trace_) (void)std::move(s).with_trace();
       session_ = std::make_unique<sim::Session>(std::move(s));
-    } else if (b.threads_ > 1) {
-      pool_ = std::make_unique<fj::Pool>(b.threads_ - 1);
     }
+    // The scheduler exists even for serial / instrumented Runtimes (its
+    // arena is simply empty): it is the submit() job queue either way.
+    sched_ = std::make_unique<sched::Scheduler>(
+        session_ ? 1 : b.threads_, b.policy_);
   }
 
-  /// Next derived seed: hash of (master seed, call counter). Counter-based
-  /// so identical Runtimes making identical call sequences replay
-  /// identical randomness.
+  /// Per-job seed stream: installed thread-locally for the duration of a
+  /// submitted job body, so every fresh_seed() the job draws comes from
+  /// its own counter instead of the shared synchronous one. `owner` keys
+  /// the stream to this Runtime — a job that calls into a *different*
+  /// Runtime must draw from that runtime's shared stream, not this job's.
+  struct JobSeedCtx {
+    const Runtime* owner;
+    uint64_t stream;
+    uint64_t seq;
+    JobSeedCtx* prev;
+  };
+  static JobSeedCtx*& tls_job_ctx() {
+    thread_local JobSeedCtx* ctx = nullptr;
+    return ctx;
+  }
+  /// Domain-separation tag for job streams: keeps hash_rand(seed_, tag ^
+  /// ticket) disjoint from the synchronous stream's hash_rand(seed_, k)
+  /// for any realistic call count k.
+  static constexpr uint64_t kJobStreamTag = 0x6a0b'57ea'ad5eedULL;
+
+  /// Next derived seed: hash of (master seed, call counter) — or, inside
+  /// a submitted job, hash of (job stream, job-local counter), which is
+  /// what makes per-pipeline randomness independent of how concurrent
+  /// pipelines interleave. Counter-based so identical Runtimes making
+  /// identical call sequences replay identical randomness.
   uint64_t fresh_seed() {
+    if (JobSeedCtx* c = tls_job_ctx(); c && c->owner == this) {
+      return util::hash_rand(c->stream, ++c->seq);
+    }
     return util::hash_rand(seed_,
                            seq_.fetch_add(1, std::memory_order_relaxed) + 1);
   }
@@ -543,56 +580,38 @@ class Runtime {
   }
 
   /// Run `f` inside this Runtime's execution environment: measurement
-  /// session installed (serial analytic executor), else pool installed on
-  /// this thread with the caller participating as worker 0, else plain
-  /// serial. Calls are serialized per Runtime.
+  /// session installed (serial analytic executor, serialized on the
+  /// session mutex), else handed to the scheduler, which applies the
+  /// configured policy — Exclusive serializes on its execution mutex and
+  /// runs the full arena; Sliced/Stealing lease a worker slice per call
+  /// so concurrent pipelines overlap.
   template <class F>
   void with_env(F&& f) {
-    std::lock_guard<std::mutex> lk(exec_m_);
     if (session_) {
+      std::lock_guard<std::mutex> lk(exec_m_);
       sim::ScopedSession guard(*session_);
       f();
       return;
     }
-    if (pool_) {
-      fj::ScopedPool guard(*pool_);
-      pool_->run(f);
-      return;
-    }
-    f();
-  }
-
-  void submit_loop() {
-    std::unique_lock<std::mutex> lk(jobs_m_);
-    for (;;) {
-      jobs_cv_.wait(lk, [&] { return jobs_closed_ || !jobs_.empty(); });
-      if (jobs_.empty()) return;  // only when closed
-      std::function<void()> job = std::move(jobs_.front());
-      jobs_.pop_front();
-      ++running_jobs_;
-      lk.unlock();
-      job();  // packaged_task: exceptions land in the future
-      lk.lock();
-      --running_jobs_;
-    }
+    sched_->run_primitive(f);
   }
 
   uint64_t seed_;
   std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> jobs_submitted_{0};
   core::SortParams params_;
   core::Variant variant_;
   std::shared_ptr<const SorterBackend> backend_;
-  std::unique_ptr<fj::Pool> pool_;
-  std::unique_ptr<sim::Session> session_;
+  /// Guards the measurement session (instrumented Runtimes execute
+  /// serially under it); native execution no longer takes a runtime-wide
+  /// lock here — serialization, if any, is the scheduler's policy.
   mutable std::mutex exec_m_;
-
-  // Async submission state (lazily populated by submit()).
-  std::mutex jobs_m_;
-  std::condition_variable jobs_cv_;
-  std::deque<std::function<void()>> jobs_;
-  std::vector<std::thread> submit_threads_;
-  size_t running_jobs_ = 0;
-  bool jobs_closed_ = false;
+  std::unique_ptr<sim::Session> session_;
+  /// Declared last on purpose: ~Scheduler drains still-queued jobs, and a
+  /// drained job body may call any Runtime method — so every member it
+  /// can touch (exec_m_, session_, backend_, the seed state) must still
+  /// be alive, i.e. destroyed after sched_.
+  std::unique_ptr<sched::Scheduler> sched_;
 };
 
 }  // namespace dopar

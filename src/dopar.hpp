@@ -31,6 +31,7 @@ namespace dopar {
 using core::SortParams;
 using core::Variant;
 using obl::Elem;
+using sched::SchedPolicy;
 using apps::Edge;
 using apps::ExprTree;
 using apps::GEdge;

@@ -1,10 +1,11 @@
 #include "forkjoin/pool.hpp"
 
+#include <cassert>
 #include <chrono>
 
 namespace dopar::fj {
 
-int& Pool::tls_worker_id() {
+int& Pool::tls_queue_id() {
   thread_local int id = -1;
   return id;
 }
@@ -14,14 +15,23 @@ Pool*& Pool::current() {
   return p;
 }
 
-Pool::Pool(unsigned helpers) {
-  queues_.reserve(helpers + 1);
-  for (unsigned i = 0; i < helpers + 1; ++i) {
+Pool::Pool(unsigned helpers, unsigned external_slots, bool share_idle)
+    : n_workers_(helpers),
+      n_external_(external_slots == 0 ? 1 : external_slots),
+      share_idle_(share_idle) {
+  queues_.reserve(n_external_ + n_workers_);
+  for (unsigned i = 0; i < n_external_ + n_workers_; ++i) {
     queues_.push_back(std::make_unique<WorkerQueue>());
   }
-  threads_.reserve(helpers);
-  for (unsigned i = 0; i < helpers; ++i) {
-    threads_.emplace_back([this, i] { worker_loop(i + 1); });
+  free_slots_.reserve(n_external_);
+  // Stack of free external slots; pop_back hands out slot 0 first so the
+  // single-slot legacy pool reproduces the classic queue-0 layout.
+  for (unsigned i = n_external_; i-- > 0;) {
+    free_slots_.push_back(static_cast<int>(i));
+  }
+  threads_.reserve(n_workers_);
+  for (unsigned i = 0; i < n_workers_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(n_external_ + i); });
   }
 }
 
@@ -31,17 +41,66 @@ Pool::~Pool() {
   for (auto& t : threads_) t.join();
 }
 
+int Pool::try_acquire_external_slot(uint32_t slice) {
+  if (slice != kSharedSlice) {
+    ever_sliced_.store(true, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lk(slots_m_);
+  if (free_slots_.empty()) return -1;
+  const int slot = free_slots_.back();
+  free_slots_.pop_back();
+  queues_[static_cast<unsigned>(slot)]->slice.store(
+      slice, std::memory_order_release);
+  return slot;
+}
+
+void Pool::release_external_slot(int queue_idx) {
+  assert(queue_idx >= 0 && static_cast<unsigned>(queue_idx) < n_external_);
+#ifndef NDEBUG
+  {
+    WorkerQueue& wq = *queues_[static_cast<unsigned>(queue_idx)];
+    std::lock_guard<std::mutex> lk(wq.m);
+    assert(wq.q.empty() && "external slot released with forks still queued");
+  }
+#endif
+  std::lock_guard<std::mutex> lk(slots_m_);
+  queues_[static_cast<unsigned>(queue_idx)]->slice.store(
+      kSharedSlice, std::memory_order_release);
+  free_slots_.push_back(queue_idx);
+}
+
+void Pool::assign_worker_slice(unsigned w, uint32_t slice) {
+  assert(w < n_workers_);
+  if (slice != kSharedSlice) {
+    ever_sliced_.store(true, std::memory_order_relaxed);
+  }
+  queues_[n_external_ + w]->slice.store(slice, std::memory_order_release);
+  // The worker may be in its deep-sleep poll; a fresh assignment usually
+  // means fresh work is coming to the slice.
+  sleep_cv_.notify_all();
+}
+
 void Pool::push_local(Task* t) {
-  WorkerQueue& wq = *queues_[static_cast<unsigned>(tls_worker_id())];
+  WorkerQueue& wq = *queues_[static_cast<unsigned>(tls_queue_id())];
   {
     std::lock_guard<std::mutex> lk(wq.m);
     wq.q.push_back(t);
   }
-  sleep_cv_.notify_one();
+  // Once the pool has ever been sliced, a single wake could land on a
+  // worker of a different slice that won't serve this task, so wake
+  // everyone (sleepers also self-wake on a 1 ms timeout, so this is
+  // latency, not correctness). A never-sliced pool — plain run() users
+  // and the scheduler's Exclusive policy — keeps the cheap classic
+  // notify_one on this hot path.
+  if (ever_sliced_.load(std::memory_order_relaxed)) {
+    sleep_cv_.notify_all();
+  } else {
+    sleep_cv_.notify_one();
+  }
 }
 
 bool Pool::pop_local_if(Task* t) {
-  WorkerQueue& wq = *queues_[static_cast<unsigned>(tls_worker_id())];
+  WorkerQueue& wq = *queues_[static_cast<unsigned>(tls_queue_id())];
   std::lock_guard<std::mutex> lk(wq.m);
   if (!wq.q.empty() && wq.q.back() == t) {
     wq.q.pop_back();
@@ -51,7 +110,7 @@ bool Pool::pop_local_if(Task* t) {
 }
 
 Task* Pool::try_pop_local() {
-  WorkerQueue& wq = *queues_[static_cast<unsigned>(tls_worker_id())];
+  WorkerQueue& wq = *queues_[static_cast<unsigned>(tls_queue_id())];
   std::lock_guard<std::mutex> lk(wq.m);
   if (wq.q.empty()) return nullptr;
   Task* t = wq.q.back();
@@ -60,21 +119,31 @@ Task* Pool::try_pop_local() {
 }
 
 Task* Pool::try_steal(unsigned self) {
-  const unsigned n = workers();
-  // Randomized victim selection per Blumofe-Leiserson.
+  const unsigned n = static_cast<unsigned>(queues_.size());
+  const uint32_t my_slice =
+      queues_[self]->slice.load(std::memory_order_acquire);
+  // Randomized victim selection per Blumofe-Leiserson, slice-mates first;
+  // a share_idle pool falls through to foreign slices when its own slice
+  // has run dry (idle capacity flows to busy pipelines).
   uint64_t seed = steal_seed_.fetch_add(0x9e3779b97f4a7c15ULL,
                                         std::memory_order_relaxed);
   seed ^= seed >> 33;
   seed *= 0xff51afd7ed558ccdULL;
-  for (unsigned attempt = 0; attempt < n; ++attempt) {
-    const unsigned v = static_cast<unsigned>((seed + attempt) % n);
-    if (v == self) continue;
-    WorkerQueue& wq = *queues_[v];
-    std::lock_guard<std::mutex> lk(wq.m);
-    if (!wq.q.empty()) {
-      Task* t = wq.q.front();  // steal from the top: oldest, largest task
-      wq.q.pop_front();
-      return t;
+  const int passes = share_idle_ ? 2 : 1;
+  for (int pass = 0; pass < passes; ++pass) {
+    for (unsigned attempt = 0; attempt < n; ++attempt) {
+      const unsigned v = static_cast<unsigned>((seed + attempt) % n);
+      if (v == self) continue;
+      WorkerQueue& wq = *queues_[v];
+      const bool mate =
+          wq.slice.load(std::memory_order_acquire) == my_slice;
+      if (mate != (pass == 0)) continue;
+      std::lock_guard<std::mutex> lk(wq.m);
+      if (!wq.q.empty()) {
+        Task* t = wq.q.front();  // steal from the top: oldest, largest task
+        wq.q.pop_front();
+        return t;
+      }
     }
   }
   return nullptr;
@@ -86,7 +155,7 @@ Task* Pool::find_task(unsigned self) {
 }
 
 void Pool::help_until(std::atomic<uint32_t>& pending) {
-  const unsigned self = static_cast<unsigned>(tls_worker_id());
+  const unsigned self = static_cast<unsigned>(tls_queue_id());
   while (pending.load(std::memory_order_acquire) != 0) {
     if (Task* t = find_task(self)) {
       t->run();
@@ -97,7 +166,7 @@ void Pool::help_until(std::atomic<uint32_t>& pending) {
 }
 
 void Pool::worker_loop(unsigned id) {
-  tls_worker_id() = static_cast<int>(id);
+  tls_queue_id() = static_cast<int>(id);
   // Workers are permanently bound to their owning pool: stolen task bodies
   // that fork again must dispatch into the same pool.
   current() = this;
@@ -116,7 +185,7 @@ void Pool::worker_loop(unsigned id) {
       std::this_thread::yield();
     }
   }
-  tls_worker_id() = -1;
+  tls_queue_id() = -1;
   current() = nullptr;
 }
 

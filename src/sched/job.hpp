@@ -1,0 +1,58 @@
+#pragma once
+// Job lifecycle state shared between sched::Scheduler and dopar::Future.
+//
+// Every Runtime::submit() call creates one JobState; the scheduler's job
+// workers advance its phase (queued -> running -> finished), and the
+// Future holding it consults the phase before blocking. This is what turns
+// the documented submit() self-deadlock hazard — a job blocking on the
+// Future of a job that has not started, with every job worker already
+// occupied — into an immediate std::logic_error instead of a silent hang.
+//
+// Header-only and dependency-free so core/future.hpp can include it
+// without pulling the scheduler (or the pool) into every translation unit.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+
+namespace dopar::sched {
+
+/// One submitted job's lifecycle, observable from its Future.
+struct JobState {
+  enum Phase : int { kQueued = 0, kRunning = 1, kFinished = 2 };
+  std::atomic<int> phase{kQueued};
+  /// Identity of the scheduler whose worker set executes this job
+  /// (process-unique, never reused; 0 = unset).
+  uint64_t scheduler_id = 0;
+};
+
+/// Identity of the scheduler whose job worker is running on this thread;
+/// 0 on every other thread. Set by the scheduler's job loop for the
+/// duration of each job body.
+inline uint64_t& tls_job_scheduler_id() {
+  thread_local uint64_t id = 0;
+  return id;
+}
+
+/// The Future-blocking rule, enforced: waiting on a Future from inside a
+/// submitted job is only safe if the awaited job is already running (or
+/// finished) — a queued job may never get a worker, because the waiter
+/// itself occupies one of the bounded job-worker set, and a wait chain
+/// across queued jobs deadlocks the whole runtime. Cross-runtime waits are
+/// fine (the other scheduler's workers drain independently), so the check
+/// is scoped to the waiter's own scheduler.
+inline void check_wait_from_job(const std::shared_ptr<JobState>& st) {
+  if (!st) return;
+  const uint64_t here = tls_job_scheduler_id();
+  if (here != 0 && st->scheduler_id == here &&
+      st->phase.load(std::memory_order_acquire) == JobState::kQueued) {
+    throw std::logic_error(
+        "dopar::Future: blocking inside a submitted job on a job that has "
+        "not started yet would deadlock the runtime's bounded job-worker "
+        "set; join this Future outside the job, or restructure so a job "
+        "only awaits work that was already running when it blocked");
+  }
+}
+
+}  // namespace dopar::sched

@@ -1,0 +1,156 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dopar::sched {
+
+namespace {
+uint64_t next_scheduler_id() {
+  static std::atomic<uint64_t> n{0};
+  return n.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+}  // namespace
+
+Scheduler::Scheduler(unsigned threads, SchedPolicy policy)
+    : policy_(policy), id_(next_scheduler_id()) {
+  if (threads > 1) {
+    // Enough external slots for every concurrent lease holder: the
+    // bounded job workers plus direct method calls from client threads.
+    // On exhaustion a lease degrades to serial participation (correct,
+    // just slower), so the headroom is latency, not correctness.
+    const unsigned slots = static_cast<unsigned>(kMaxJobWorkers) + 4;
+    pool_ = std::make_unique<fj::Pool>(threads - 1, slots,
+                                       policy == SchedPolicy::Stealing);
+    free_workers_.reserve(threads - 1);
+    for (unsigned w = 0; w < threads - 1; ++w) free_workers_.push_back(w);
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lk(jobs_m_);
+    jobs_closed_ = true;
+  }
+  jobs_cv_.notify_all();
+  for (std::thread& t : job_threads_) t.join();
+  assert(leases_.empty() && "scheduler destroyed with live slice leases");
+}
+
+fj::PoolView Scheduler::lease_acquire() {
+  std::lock_guard<std::mutex> lk(lease_m_);
+  const uint32_t slice = next_slice_++;
+  if (next_slice_ == fj::Pool::kSharedSlice) ++next_slice_;  // wrap: skip 0
+  const int ext = pool_->try_acquire_external_slot(slice);
+  leases_.push_back(ActiveLease{slice, ext, {}});
+  rebalance_locked();
+  return fj::PoolView(pool_.get(), ext, slice);
+}
+
+void Scheduler::lease_release(uint32_t slice) {
+  std::lock_guard<std::mutex> lk(lease_m_);
+  auto it = std::find_if(leases_.begin(), leases_.end(),
+                         [&](const ActiveLease& l) { return l.slice == slice; });
+  assert(it != leases_.end());
+  for (unsigned w : it->workers) {
+    pool_->assign_worker_slice(w, fj::Pool::kSharedSlice);
+    free_workers_.push_back(w);
+  }
+  if (it->ext_slot >= 0) pool_->release_external_slot(it->ext_slot);
+  leases_.erase(it);
+  rebalance_locked();
+}
+
+void Scheduler::rebalance_locked() {
+  // Repartition the arena's workers W/n-ish across the n active leases.
+  // Workers keep their current lease where possible (minimal re-tagging);
+  // surplus flows through free_workers_ into under-provisioned leases. A
+  // re-tagged worker finishes the task it is executing and serves its new
+  // slice from the next lookup on — no synchronization with the workers
+  // themselves is needed (fork2's join always has pop access to its own
+  // queue, so a computation never strands on a re-tag).
+  const size_t n = leases_.size();
+  if (n == 0) return;  // free workers already re-tagged to the shared slice
+  const unsigned W = pool_->worker_threads();
+  for (size_t i = 0; i < n; ++i) {
+    const size_t target = W / n + (i < W % n ? 1 : 0);
+    ActiveLease& l = leases_[i];
+    while (l.workers.size() > target) {
+      const unsigned w = l.workers.back();
+      l.workers.pop_back();
+      free_workers_.push_back(w);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const size_t target = W / n + (i < W % n ? 1 : 0);
+    ActiveLease& l = leases_[i];
+    while (l.workers.size() < target && !free_workers_.empty()) {
+      const unsigned w = free_workers_.back();
+      free_workers_.pop_back();
+      pool_->assign_worker_slice(w, l.slice);
+      l.workers.push_back(w);
+    }
+  }
+}
+
+void Scheduler::enqueue(std::function<void()> job,
+                        std::shared_ptr<JobState> state) {
+  state->scheduler_id = id_;
+  {
+    std::lock_guard<std::mutex> lk(jobs_m_);
+    // Fail fast (also in Release): a job enqueued after shutdown would
+    // never run and its Future would hang forever.
+    if (jobs_closed_) {
+      throw std::logic_error("Runtime::submit: runtime is shutting down");
+    }
+    jobs_.emplace_back(std::move(job), std::move(state));
+    // Lazily grow the job-worker set while jobs outnumber workers
+    // (capped): a Runtime that never submits pays nothing.
+    if (job_threads_.size() < kMaxJobWorkers &&
+        job_threads_.size() < jobs_.size() + running_jobs_) {
+      try {
+        job_threads_.emplace_back([this] { job_loop(); });
+      } catch (...) {
+        if (job_threads_.empty()) {
+          // No worker exists to ever run the job: un-queue it and let
+          // the caller see the failure (otherwise the job would be
+          // silently dropped at destruction — or run twice if the
+          // caller resubmitted after catching).
+          jobs_.pop_back();
+          throw;
+        }
+        // Existing workers will drain the queue; only the extra
+        // concurrency is lost.
+      }
+    }
+  }
+  jobs_cv_.notify_one();
+}
+
+void Scheduler::job_loop() {
+  tls_job_scheduler_id() = id_;
+  std::unique_lock<std::mutex> lk(jobs_m_);
+  for (;;) {
+    jobs_cv_.wait(lk, [&] { return jobs_closed_ || !jobs_.empty(); });
+    if (jobs_.empty()) break;  // only when closed
+    auto [job, state] = std::move(jobs_.front());
+    jobs_.pop_front();
+    ++running_jobs_;
+    // Mark kRunning while still holding jobs_m_: dequeue order is the
+    // FIFO submission order, so once any later job observes itself
+    // running, every earlier job is already marked — which is what keeps
+    // the documented-legal "await a job submitted before me" pattern
+    // from tripping the Future-blocking check in the dequeue-to-mark
+    // window.
+    state->phase.store(JobState::kRunning, std::memory_order_release);
+    lk.unlock();
+    job();  // packaged_task: exceptions land in the future
+    state->phase.store(JobState::kFinished, std::memory_order_release);
+    lk.lock();
+    --running_jobs_;
+  }
+  tls_job_scheduler_id() = 0;
+}
+
+}  // namespace dopar::sched

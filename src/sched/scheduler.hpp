@@ -1,0 +1,169 @@
+#pragma once
+// dopar::sched — the work-sharing scheduler subsystem behind the Runtime.
+//
+// The paper states its algorithms in the binary fork-join model, where
+// nested parallelism composes freely. The Runtime façade used to undercut
+// that: every primitive call inside a submitted job grabbed one
+// runtime-wide execution mutex, so two concurrently submitted pipelines
+// serialized their sorts and ORBA passes. The Scheduler closes that gap:
+// it owns the Runtime's fork-join arena (fj::Pool) and its job workers,
+// and executes each pipeline's primitives against a *slice* of the arena
+// (fj::PoolView) instead of the whole pool, under one of three policies:
+//
+//   SchedPolicy::Exclusive  one primitive at a time on the full arena —
+//                           the classic pre-scheduler behavior (default).
+//   SchedPolicy::Sliced     concurrent primitives each lease a disjoint
+//                           worker slice (arena hard-partitioned across
+//                           the active pipelines; leases rebalance as
+//                           pipelines come and go).
+//   SchedPolicy::Stealing   sliced, plus work sharing: a worker whose own
+//                           slice runs dry steals from any busy slice, so
+//                           idle capacity always flows to busy pipelines.
+//
+// The Scheduler also owns the submit() machinery (bounded lazily-spawned
+// job workers, FIFO queue, drain-on-destroy) that used to live inside
+// Runtime, and stamps each job's JobState (sched/job.hpp) so a Future can
+// detect the wait-from-a-job-on-a-queued-job deadlock and throw.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "forkjoin/pool.hpp"
+#include "sched/job.hpp"
+
+namespace dopar::sched {
+
+/// How a Runtime schedules the primitives of concurrent pipelines.
+enum class SchedPolicy { Exclusive, Sliced, Stealing };
+
+constexpr std::string_view to_string(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::Exclusive: return "exclusive";
+    case SchedPolicy::Sliced: return "sliced";
+    case SchedPolicy::Stealing: return "stealing";
+  }
+  return "?";
+}
+
+class Scheduler {
+ public:
+  /// `threads` is the Runtime's total parallelism (calling thread
+  /// included): threads > 1 builds an arena with threads-1 workers;
+  /// threads <= 1 builds no arena and every primitive runs serially on
+  /// its calling thread (jobs still overlap under non-exclusive
+  /// policies).
+  Scheduler(unsigned threads, SchedPolicy policy);
+
+  /// Drains every queued job (executing it), then joins the job workers.
+  /// The arena is torn down last, after no job can touch it.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SchedPolicy policy() const { return policy_; }
+  fj::Pool* pool() { return pool_.get(); }
+  /// Total parallelism of one full-arena primitive (1 = serial).
+  unsigned parallelism() const { return pool_ ? pool_->workers() : 1; }
+  /// Process-unique identity (JobState::scheduler_id of jobs enqueued
+  /// here).
+  uint64_t id() const { return id_; }
+
+  // ---- primitive execution (Runtime::with_env) ------------------------
+
+  /// Execute one oblivious-primitive body under the policy. Exclusive:
+  /// serialize on the scheduler's execution mutex and run on the full
+  /// arena. Sliced/Stealing: no global lock — lease a slice of the arena
+  /// for the duration of the call, so primitives of concurrent pipelines
+  /// genuinely overlap. The pool is installed thread-locally either way
+  /// (fj::invoke dispatch).
+  template <class F>
+  void run_primitive(F&& f) {
+    if (policy_ == SchedPolicy::Exclusive) {
+      std::lock_guard<std::mutex> lk(exec_m_);
+      if (pool_) {
+        fj::ScopedPool guard(*pool_);
+        pool_->run(f);
+      } else {
+        f();
+      }
+      return;
+    }
+    if (!pool_) {
+      f();  // serial runtime: nothing to lease, nothing to serialize on
+      return;
+    }
+    Lease lease(*this);
+    fj::ScopedPool guard(*pool_);
+    lease.view().run(f);
+  }
+
+  // ---- job execution (Runtime::submit) --------------------------------
+
+  /// Maximum number of concurrently executing submitted jobs.
+  static constexpr size_t kMaxJobWorkers = 4;
+
+  /// Enqueue a type-erased job (Runtime::submit wraps the user fn in a
+  /// packaged_task upstream). Stamps and advances `state` so Futures can
+  /// apply the Future-blocking rule. Throws std::logic_error once the
+  /// scheduler is shutting down.
+  void enqueue(std::function<void()> job, std::shared_ptr<JobState> state);
+
+ private:
+  /// RAII slice lease for one primitive call: on acquire the scheduler
+  /// repartitions the arena's workers across all active leases (W/n
+  /// each); on release the workers flow back to the remaining leases.
+  class Lease {
+   public:
+    explicit Lease(Scheduler& s) : sched_(s), view_(s.lease_acquire()) {}
+    ~Lease() { sched_.lease_release(view_.slice()); }
+    fj::PoolView& view() { return view_; }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+   private:
+    Scheduler& sched_;
+    fj::PoolView view_;
+  };
+
+  fj::PoolView lease_acquire();
+  void lease_release(uint32_t slice);
+  void rebalance_locked();
+  void job_loop();
+
+  const SchedPolicy policy_;
+  const uint64_t id_;
+  std::unique_ptr<fj::Pool> pool_;
+  std::mutex exec_m_;  ///< Exclusive policy: the classic primitive mutex.
+
+  // Slice leases (Sliced/Stealing policies).
+  struct ActiveLease {
+    uint32_t slice;
+    int ext_slot;
+    std::vector<unsigned> workers;
+  };
+  std::mutex lease_m_;
+  std::vector<ActiveLease> leases_;
+  std::vector<unsigned> free_workers_;
+  uint32_t next_slice_ = fj::Pool::kSharedSlice + 1;
+
+  // Job queue + bounded lazily-spawned job workers.
+  std::mutex jobs_m_;
+  std::condition_variable jobs_cv_;
+  std::deque<std::pair<std::function<void()>, std::shared_ptr<JobState>>>
+      jobs_;
+  std::vector<std::thread> job_threads_;
+  size_t running_jobs_ = 0;
+  bool jobs_closed_ = false;
+};
+
+}  // namespace dopar::sched
