@@ -1,0 +1,134 @@
+// Comparator-kernel micro-benchmark: wall-clock throughput of the
+// branchless move primitives (oswap / oselect) and the batch
+// compare-exchange API, for every compiled-in ISA, at the record sizes the
+// engines actually move: 8 B (packed keys), 16 B (the inline cutoff), 32 B
+// (obl::Elem), and 64 B (two Elems / a cache line).
+//
+// Rows go to BENCH_oswap.json via the shared bench schema with the
+// microseconds in the `work` column (bench::record_wall). The section
+// "oswap" is listed in WALL_CLOCK_SECTIONS of
+// scripts/check_bench_snapshots.py, so CI prints the drift without gating
+// on it — these numbers are machine-dependent by design. The committed
+// snapshot documents the scalar-vs-vector gap on the reference machine.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obl/kernel/dispatch.hpp"
+#include "obl/kernel/kernel.hpp"
+#include "obl/oswap.hpp"
+#include "util/rng.hpp"
+
+namespace dopar {
+namespace {
+
+using obl::kernel::Isa;
+
+constexpr size_t kBufBytes = 1u << 20;  // 1 MiB per side
+constexpr int kReps = 5;                // best-of
+
+std::vector<unsigned char> random_bytes(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<unsigned char> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<unsigned char>(rng.below(256));
+  }
+  return v;
+}
+
+double best_of(int reps, double (*run)(size_t), size_t rec) {
+  double best = -1;
+  for (int r = 0; r < reps; ++r) {
+    const double us = run(rec);
+    if (best < 0 || us < best) best = us;
+  }
+  return best;
+}
+
+/// One pass of per-record oswap_raw over the whole buffer pair, alternating
+/// the flag so the optimizer cannot specialize either branchless path away.
+double run_oswap(size_t rec) {
+  static auto a = random_bytes(kBufBytes, 1);
+  static auto b = random_bytes(kBufBytes, 2);
+  const size_t count = kBufBytes / rec;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < count; ++i) {
+    obl::kernel::oswap_raw(a.data() + i * rec, b.data() + i * rec, rec,
+                           (i & 1) != 0);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+/// One pass of per-record oselect_raw (dst aliases the false operand —
+/// the oassign shape used by the scan combiners and routing kernels).
+double run_oselect(size_t rec) {
+  static auto t = random_bytes(kBufBytes, 3);
+  static auto f = random_bytes(kBufBytes, 4);
+  const size_t count = kBufBytes / rec;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < count; ++i) {
+    obl::kernel::oselect_raw(f.data() + i * rec, t.data() + i * rec,
+                             f.data() + i * rec, rec, (i & 1) != 0);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+/// One oswap_batch_raw call over the whole buffer pair — the shape the
+/// tiled network rounds dispatch (mask per record, contiguous stride).
+double run_batch(size_t rec) {
+  static auto a = random_bytes(kBufBytes, 5);
+  static auto b = random_bytes(kBufBytes, 6);
+  static auto mask = random_bytes(kBufBytes / 8, 7);
+  const size_t count = kBufBytes / rec;
+  for (size_t i = 0; i < count; ++i) mask[i] &= 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  obl::kernel::oswap_batch_raw(a.data(), b.data(), rec, rec, mask.data(),
+                               count);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+}  // namespace
+}  // namespace dopar
+
+int main() {
+  using namespace dopar;
+  std::printf("oswap kernel micro-bench: %zu KiB per side, best of %d\n",
+              kBufBytes >> 10, kReps);
+  std::printf("%-8s %-10s %-6s %12s %12s\n", "isa", "op", "rec", "micros",
+              "GB/s");
+
+  const Isa startup = obl::kernel::active_isa();
+  const struct {
+    const char* name;
+    double (*run)(size_t);
+  } ops[] = {{"oswap", run_oswap}, {"oselect", run_oselect},
+             {"batch", run_batch}};
+  for (Isa isa : {Isa::Scalar, Isa::Sse2, Isa::Avx2, Isa::Neon}) {
+    if (!obl::kernel::isa_supported(isa)) continue;
+    obl::kernel::select_isa(isa);
+    for (const auto& op : ops) {
+      for (size_t rec : {size_t{8}, size_t{16}, size_t{32}, size_t{64}}) {
+        const double us = best_of(kReps, op.run, rec);
+        // Bytes moved per pass: both sides are read and written.
+        const double gbs = us > 0 ? (2.0 * kBufBytes) / (us * 1e3) : 0.0;
+        bench::record_wall("oswap", std::string(op.name) + "_rec" +
+                                        std::to_string(rec),
+                           kBufBytes / rec, obl::kernel::isa_name(isa), us);
+        std::printf("%-8s %-10s %-6zu %12.1f %12.2f\n",
+                    obl::kernel::isa_name(isa), op.name, rec, us, gbs);
+      }
+    }
+  }
+  obl::kernel::select_isa(startup);
+
+  bench::write_json("BENCH_oswap.json");
+  std::printf("\nWrote BENCH_oswap.json\n");
+  return 0;
+}

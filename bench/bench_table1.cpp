@@ -14,6 +14,7 @@
 //     log factor; our insecure CC/MSF baselines already use the improved
 //     round structure, so their span ratio is ~flat — see EXPERIMENTS.md).
 
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -29,6 +30,8 @@
 #include "insecure/graph.hpp"
 #include "insecure/listrank.hpp"
 #include "insecure/mergesort.hpp"
+#include "obl/bitonic_ca.hpp"
+#include "obl/kernel/dispatch.hpp"
 #include "util/rng.hpp"
 
 namespace dopar {
@@ -197,6 +200,37 @@ int main() {
     Measure mo = measure([&] { (void)apps::detail::msf(n, edges); });
     Measure mi = measure([&] { (void)insecure::msf(n, edges); });
     row("MSF", "msf", n, mo, mi);
+  }
+
+  bench::print_header(
+      "Sort wall-clock (native path, no instrumentation): scalar vs "
+      "dispatched comparator kernels",
+      "");
+  {
+    using obl::kernel::Isa;
+    const Isa best = obl::kernel::active_isa();
+    for (size_t n : {size_t{1} << 14, size_t{1} << 16}) {
+      const auto data = rand_elems(n, n + 99);
+      for (Isa isa : {Isa::Scalar, best}) {
+        obl::kernel::select_isa(isa);
+        double best_us = -1;
+        for (int rep = 0; rep < 3; ++rep) {
+          vec<obl::Elem> v(data);
+          const auto t0 = std::chrono::steady_clock::now();
+          obl::bitonic_sort_ca(v.s());
+          const auto t1 = std::chrono::steady_clock::now();
+          const double us =
+              std::chrono::duration<double, std::micro>(t1 - t0).count();
+          if (best_us < 0 || us < best_us) best_us = us;
+        }
+        bench::record_wall("sort_wall", "bitonic_ca", n,
+                           obl::kernel::isa_name(isa), best_us);
+        std::printf("Sort-W n=%-7zu | %-6s %.0f us (best of 3)\n", n,
+                    obl::kernel::isa_name(isa), best_us);
+        if (isa == best) break;  // scalar == best: one row is enough
+      }
+    }
+    obl::kernel::select_isa(best);
   }
 
   write_json("BENCH_table1.json");

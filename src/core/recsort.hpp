@@ -27,6 +27,7 @@
 #include "forkjoin/api.hpp"
 #include "obl/bitonic_ca.hpp"
 #include "obl/elem.hpp"
+#include "obl/kernel/kernel.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
 #include "util/transpose.hpp"
@@ -74,10 +75,7 @@ inline void recsort_base(const RsView& v, size_t nbins,
   const size_t padded = util::pow2_ceil(total);
   vec<Elem> tmpv(padded, Elem::filler());
   const slice<Elem> tmp = tmpv.s();
-  fj::for_range(0, total, fj::kDefaultGrain, [&](size_t i) {
-    sim::tick(1);
-    tmp[i] = v.data[i];
-  });
+  obl::kernel::copy_range(tmp, 0, v.data, 0, total, obl::kernel::Tick::PerElem);
   obl::bitonic_sort_ca(tmp, /*up=*/true, less);
 
   size_t live = 0;
@@ -99,10 +97,12 @@ inline void recsort_base(const RsView& v, size_t nbins,
   }
   fj::for_range(0, nbins, 1, [&](size_t j) {
     const size_t lo = start[j], len = start[j + 1] - start[j];
-    for (size_t k = 0; k < v.cap; ++k) {
-      sim::tick(1);
-      v.data[j * v.cap + k] = k < len ? tmp[lo + k] : Elem::filler();
-    }
+    // Historically one serial loop: live prefix copied, tail refilled,
+    // one tick per slot either way.
+    obl::kernel::copy_range_serial(v.data, j * v.cap, tmp, lo, len,
+                                   obl::kernel::Tick::PerElem);
+    obl::kernel::fill_range_serial(v.data, j * v.cap + len, v.cap - len,
+                                   Elem::filler(), obl::kernel::Tick::PerElem);
   });
 }
 
@@ -120,10 +120,9 @@ inline void recsort_rec(const RsView& v, size_t nbins, size_t gamma,
   // Coarse pivots: every beta1-th pivot separates the beta2 phase-1 ranges.
   vec<Elem> coarsev(beta2 - 1);
   const slice<Elem> coarse = coarsev.s();
-  fj::for_range(0, beta2 - 1, fj::kDefaultGrain, [&](size_t d) {
-    sim::tick(1);
-    coarse[d] = pivots[(d + 1) * beta1 - 1];
-  });
+  obl::kernel::generate_range(
+      coarse, 0, beta2 - 1, obl::kernel::Tick::PerElem,
+      [&](Elem& v, size_t d) { v = pivots[(d + 1) * beta1 - 1]; });
 
   // Phase 1: each partition of beta2 consecutive bins splits into the
   // beta2 coarse ranges.
@@ -151,12 +150,10 @@ inline void recsort_rec(const RsView& v, size_t nbins, size_t gamma,
     recsort_rec(sub, beta1, gamma, pivots.sub(d * beta1, beta1 - 1));
   });
 
-  fj::for_range(0, nbins * v.cap, fj::kDefaultGrain, [&](size_t i) {
-    sim::tick(1);
-    v.data[i] = dscratch[i];
-  });
-  fj::for_range(0, nbins, fj::kDefaultGrain,
-                [&](size_t i) { v.count[i] = cscratch[i]; });
+  obl::kernel::copy_range(v.data, 0, dscratch, 0, nbins * v.cap,
+                          obl::kernel::Tick::PerElem);
+  obl::kernel::copy_range(v.count, 0, cscratch, 0, nbins,
+                          obl::kernel::Tick::None);
 }
 
 }  // namespace detail
@@ -197,10 +194,8 @@ inline void rec_sort(const slice<obl::Elem>& a, uint64_t seed,
   const slice<Elem> data = datav.s();
   const slice<uint32_t> count = countv.s();
   fj::for_range(0, r, 1, [&](size_t b) {
-    for (size_t k = 0; k < bin; ++k) {
-      sim::tick(1);
-      data[b * cap + k] = a[b * bin + k];
-    }
+    obl::kernel::copy_range_serial(data, b * cap, a, b * bin, bin,
+                                   obl::kernel::Tick::PerElem);
     const size_t lo = b * bin;
     const size_t live_here =
         live_total <= lo ? 0 : (live_total - lo < bin ? live_total - lo : bin);
@@ -225,13 +220,11 @@ inline void rec_sort(const slice<obl::Elem>& a, uint64_t seed,
   if (total != live_total) throw RecsortOverflow{};  // lost elements
   fj::for_range(0, r, 1, [&](size_t b) {
     const size_t base = of[b], cnt = count[b];
-    for (size_t k = 0; k < cnt; ++k) {
-      sim::tick(1);
-      a[base + k] = data[b * cap + k];
-    }
+    obl::kernel::copy_range_serial(a, base, data, b * cap, cnt,
+                                   obl::kernel::Tick::PerElem);
   });
-  fj::for_range(live_total, n, fj::kDefaultGrain,
-                [&](size_t i) { a[i] = Elem::filler(); });
+  obl::kernel::fill_range(a, live_total, n - live_total, Elem::filler(),
+                          obl::kernel::Tick::None);
 }
 
 }  // namespace dopar::core

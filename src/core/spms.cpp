@@ -18,6 +18,7 @@
 // building blocks are the same model class — reuse them rather than
 // fork them.
 #include "insecure/mergesort.hpp"
+#include "obl/kernel/kernel.hpp"
 #include "obl/scan.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
@@ -42,10 +43,7 @@ void merge_segs(const std::vector<slice<Elem>>& segs, size_t lo, size_t hi,
                 const slice<Elem>& dst, const slice<Elem>& tmp) {
   if (hi - lo == 1) {
     const slice<Elem>& s = segs[lo];
-    fj::for_range(0, s.size(), fj::kDefaultGrain, [&](size_t i) {
-      sim::tick(1);
-      dst[i] = s[i];
-    });
+    obl::kernel::copy_range(dst, 0, s, 0, s.size(), obl::kernel::Tick::PerElem);
     return;
   }
   const size_t mid = lo + (hi - lo) / 2;
@@ -72,10 +70,7 @@ void multiway_merge(const std::vector<slice<Elem>>& runs,
   const size_t n = out.size();
   if (n == 0) return;
   if (k == 1) {
-    fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
-      sim::tick(1);
-      out[i] = runs[0][i];
-    });
+    obl::kernel::copy_range(out, 0, runs[0], 0, n, obl::kernel::Tick::PerElem);
     return;
   }
 
@@ -106,10 +101,12 @@ void multiway_merge(const std::vector<slice<Elem>>& runs,
   const slice<Elem> sample = samplev.s();
   fj::for_range(0, k, 1, [&](size_t i) {
     const size_t c = runs[i].size() / s;
-    fj::for_range(0, c, fj::kDefaultGrain, [&](size_t j) {
-      sim::tick(1);
-      sample[soff[i] + j] = runs[i][(j + 1) * s - 1];
-    });
+    obl::kernel::generate_range(
+        sample, soff[i], soff[i] + c, obl::kernel::Tick::PerElem,
+        [&](Elem& v, size_t idx) {
+          const size_t j = idx - soff[i];
+          v = runs[i][(j + 1) * s - 1];
+        });
   });
   std::vector<slice<Elem>> sruns(k);
   for (size_t i = 0; i < k; ++i) {
@@ -125,30 +122,31 @@ void multiway_merge(const std::vector<slice<Elem>>& runs,
   const size_t p = sample_total / t;
   vec<uint64_t> boundv(k * (p + 1));
   const slice<uint64_t> bound = boundv.s();
-  fj::for_range(0, k * (p + 1), fj::kDefaultGrain, [&](size_t idx) {
-    const size_t i = idx / (p + 1);
-    const size_t j = idx % (p + 1);
-    sim::tick(1);
-    if (j == 0) {
-      bound[idx] = 0;
-    } else if (j == p) {
-      bound[idx] = runs[i].size();
-    } else {
-      bound[idx] =
-          insecure::detail::lower_bound(runs[i], sorted[j * t - 1], kLess);
-    }
-  });
+  obl::kernel::generate_range(
+      bound, 0, k * (p + 1), obl::kernel::Tick::PerElem,
+      [&](uint64_t& v, size_t idx) {
+        const size_t i = idx / (p + 1);
+        const size_t j = idx % (p + 1);
+        if (j == 0) {
+          v = 0;
+        } else if (j == p) {
+          v = runs[i].size();
+        } else {
+          v = insecure::detail::lower_bound(runs[i], sorted[j * t - 1], kLess);
+        }
+      });
 
   // Segment lengths, run-major k x p, transposed to bucket-major p x k so
   // that one exclusive prefix sum yields each segment's slot in the
   // bucket-grouped scratch layout (and each bucket's output offset).
   vec<uint64_t> len_rm(k * p), len_bm(k * p);
-  fj::for_range(0, k * p, fj::kDefaultGrain, [&](size_t idx) {
-    const size_t i = idx / p;
-    const size_t j = idx % p;
-    sim::tick(1);
-    len_rm.s()[idx] = bound[i * (p + 1) + j + 1] - bound[i * (p + 1) + j];
-  });
+  obl::kernel::generate_range(
+      len_rm.s(), 0, k * p, obl::kernel::Tick::PerElem,
+      [&](uint64_t& v, size_t idx) {
+        const size_t i = idx / p;
+        const size_t j = idx % p;
+        v = bound[i * (p + 1) + j + 1] - bound[i * (p + 1) + j];
+      });
   util::transpose_blocks(len_rm.s(), len_bm.s(), k, p);
 
   vec<uint64_t> segoffv(k * p);
@@ -168,10 +166,9 @@ void multiway_merge(const std::vector<slice<Elem>>& runs,
     const size_t len = bound[i * (p + 1) + j + 1] - lo;
     const slice<Elem> src = runs[i];
     const size_t base = segoff[idx];
-    for (size_t e = 0; e < len; ++e) {
-      sim::tick(1);
-      scratch[base + e] = src[lo + e];
-    }
+    // Serial per-segment copy (the fork happens over segments, above).
+    obl::kernel::copy_range_serial(scratch, base, src, lo, len,
+                                   obl::kernel::Tick::PerElem);
   });
 
   // ---- Multiway-merge: fork over buckets; each bucket's <= k segments
@@ -225,10 +222,7 @@ void spms_sort_rec(const slice<Elem>& a, const SpmsTuning& tuning) {
   }
   vec<Elem> outv(n);
   multiway_merge(runs, outv.s(), tuning);
-  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
-    sim::tick(1);
-    a[i] = outv.s()[i];
-  });
+  obl::kernel::copy_range(a, 0, outv.s(), 0, n, obl::kernel::Tick::PerElem);
 }
 
 }  // namespace
@@ -248,10 +242,7 @@ void spms_osort(const slice<obl::Elem>& a, uint64_t seed, Variant variant,
 
   vec<Elem> workv(padded, Elem::filler());
   const slice<Elem> work = workv.s();
-  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
-    sim::tick(1);
-    work[i] = a[i];
-  });
+  obl::kernel::copy_range(work, 0, a, 0, n, obl::kernel::Tick::PerElem);
 
   // ORP: the pipeline's only source of randomness (SPMS is deterministic,
   // so the whole call's schedule is a function of `seed`). Overflow
@@ -263,12 +254,9 @@ void spms_osort(const slice<obl::Elem>& a, uint64_t seed, Variant variant,
   // Permuted position -> Elem::extra: the tie-break that makes
   // (key, extra) a strict total order (uniform ranks for equal keys),
   // which the bucket-balance bound of the partition step relies on.
-  fj::for_range(0, padded, fj::kDefaultGrain, [&](size_t i) {
-    sim::tick(1);
-    Elem e = perm[i];
-    e.extra = static_cast<uint32_t>(i);
-    perm[i] = e;
-  });
+  obl::kernel::transform_range(
+      perm, 0, padded, obl::kernel::Tick::PerElem,
+      [](Elem& e, size_t i) { e.extra = static_cast<uint32_t>(i); });
 
   // ORP emits real elements first, fillers trailing — the first n slots
   // are exactly the input records (sentinel-keyed input fillers included,
@@ -276,10 +264,7 @@ void spms_osort(const slice<obl::Elem>& a, uint64_t seed, Variant variant,
   // contract).
   spms_sort(perm.first(n), SpmsTuning::auto_for(variant));
 
-  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
-    sim::tick(1);
-    a[i] = perm[i];
-  });
+  obl::kernel::copy_range(a, 0, perm, 0, n, obl::kernel::Tick::PerElem);
 }
 
 }  // namespace detail

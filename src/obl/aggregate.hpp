@@ -13,6 +13,7 @@
 
 #include "forkjoin/api.hpp"
 #include "obl/elem.hpp"
+#include "obl/kernel/kernel.hpp"
 #include "obl/oswap.hpp"
 #include "obl/scan.hpp"
 #include "sim/tracked.hpp"
@@ -50,19 +51,17 @@ void aggregate_suffix(const slice<Elem>& a, const Op& op) {
   if (n <= 1) return;
   vec<detail::AggSeg> segs(n);
   const slice<detail::AggSeg> sg = segs.s();
-  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
-    sim::tick(1);
-    const Elem e = a[i];
-    const bool tail = (i + 1 == n) || (a[i + 1].key != e.key);
-    sg[i] = detail::AggSeg{e.payload, tail ? 1u : 0u};
-  });
+  kernel::generate_range(
+      sg, 0, n, kernel::Tick::PerElem, [&](detail::AggSeg& v, size_t i) {
+        const Elem e = a[i];
+        // Short-circuit preserved: the last position never touches a[n].
+        const bool tail = (i + 1 == n) || (a[i + 1].key != e.key);
+        v = detail::AggSeg{e.payload, tail ? 1u : 0u};
+      });
   scan_inclusive_reverse(sg, detail::AggCombine<Op>{op});
-  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
-    sim::tick(1);
-    Elem e = a[i];
-    e.payload = sg[i].value;
-    a[i] = e;
-  });
+  kernel::transform_range(
+      a, 0, n, kernel::Tick::PerElem,
+      [&](Elem& e, size_t i) { e.payload = sg[i].value; });
 }
 
 /// Exclusive variant: payload[i] <- op-fold of payload[j] for j > i in i's
@@ -75,17 +74,15 @@ void aggregate_suffix_exclusive(const slice<Elem>& a, const Op& op,
   aggregate_suffix(a, op);
   vec<uint64_t> folded(n);
   const slice<uint64_t> fo = folded.s();
-  fj::for_range(0, n, fj::kDefaultGrain,
-                [&](size_t i) { fo[i] = a[i].payload; });
-  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
-    sim::tick(1);
-    Elem e = a[i];
-    const bool tail = (i + 1 == n) || (a[i + 1].key != e.key);
-    // Fixed access pattern: always read a successor slot, then select.
-    const uint64_t next = fo[i + 1 == n ? i : i + 1];
-    e.payload = oselect(tail, empty, next);
-    a[i] = e;
-  });
+  kernel::generate_range(fo, 0, n, kernel::Tick::None,
+                         [&](uint64_t& v, size_t i) { v = a[i].payload; });
+  kernel::transform_range(
+      a, 0, n, kernel::Tick::PerElem, [&](Elem& e, size_t i) {
+        const bool tail = (i + 1 == n) || (a[i + 1].key != e.key);
+        // Fixed access pattern: always read a successor slot, then select.
+        const uint64_t next = fo[i + 1 == n ? i : i + 1];
+        e.payload = oselect(tail, empty, next);
+      });
 }
 
 }  // namespace dopar::obl

@@ -30,6 +30,7 @@
 #include "forkjoin/api.hpp"
 #include "obl/binitem.hpp"
 #include "obl/elem.hpp"
+#include "obl/kernel/kernel.hpp"
 #include "obl/oswap.hpp"
 #include "obl/scan.hpp"
 #include "sim/tracked.hpp"
@@ -77,24 +78,22 @@ void bin_placement(const slice<R>& in, const slice<R>& out, size_t beta,
   const slice<Item> w = workv.s();
 
   // 1. Input elements, then Z temps per bin, then pad fillers.
-  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
-    sim::tick(1);
-    Item it;
-    if (i < in.size()) {
-      it.r = in[i];
-      const bool fill = Traits::is_filler(it.r);
-      const uint64_t g = fill ? 0 : group(it.r);
-      it.skey = oselect<uint64_t>(fill, Item::kSinkKey, (g << 2) | 0u);
-    } else if (i < n0) {
-      const uint64_t g = (i - in.size()) / Z;
-      it.r = Traits::filler();
-      it.skey = (g << 2) | 1u;  // temp
-    } else {
-      it.r = Traits::filler();
-      it.skey = Item::kSinkKey;
-    }
-    w[i] = it;
-  });
+  kernel::generate_range(
+      w, 0, n, kernel::Tick::PerElem, [&](Item& it, size_t i) {
+        if (i < in.size()) {
+          it.r = in[i];
+          const bool fill = Traits::is_filler(it.r);
+          const uint64_t g = fill ? 0 : group(it.r);
+          it.skey = oselect<uint64_t>(fill, Item::kSinkKey, (g << 2) | 0u);
+        } else if (i < n0) {
+          const uint64_t g = (i - in.size()) / Z;
+          it.r = Traits::filler();
+          it.skey = (g << 2) | 1u;  // temp
+        } else {
+          it.r = Traits::filler();
+          it.skey = Item::kSinkKey;
+        }
+      });
 
   // 2. Sort by (bin, real < temp); fillers sink to the back.
   sorter.sort(w, erase_less<Item>(BinBySkey{}));
@@ -102,13 +101,13 @@ void bin_placement(const slice<R>& in, const slice<R>& out, size_t beta,
   // 3. Offset within bin via segmented scan of head positions.
   vec<detail::HeadSeg> segv(n);
   const slice<detail::HeadSeg> sg = segv.s();
-  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
-    sim::tick(1);
-    const uint64_t g = w[i].skey >> 2;
-    const uint64_t gp = w[i == 0 ? 0 : i - 1].skey >> 2;
-    const bool head = (i == 0) || (g != gp);
-    sg[i] = detail::HeadSeg{i, head ? 1u : 0u};
-  });
+  kernel::generate_range(
+      sg, 0, n, kernel::Tick::PerElem, [&](detail::HeadSeg& v, size_t i) {
+        const uint64_t g = w[i].skey >> 2;
+        const uint64_t gp = w[i == 0 ? 0 : i - 1].skey >> 2;
+        const bool head = (i == 0) || (g != gp);
+        v = detail::HeadSeg{i, head ? 1u : 0u};
+      });
   scan_inclusive(sg, detail::HeadCombine{});
 
   // Overflow check: a bin overflows iff some *real* element has offset
@@ -117,20 +116,19 @@ void bin_placement(const slice<R>& in, const slice<R>& out, size_t beta,
   const slice<uint64_t> of = overflow_flags.s();
 
   // 4. Re-key: normal -> bin id, excess/filler -> sink.
-  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
-    sim::tick(1);
-    Item it = w[i];
-    const uint64_t offset = i - sg[i].head_index;
-    const bool sink = it.skey == Item::kSinkKey;
-    const bool excess = !sink && offset >= Z;
-    const bool real_excess = excess && (it.skey & 3u) == 0u;
-    of[i] = real_excess ? 1u : 0u;
-    it.skey =
-        oselect<uint64_t>(excess || sink, Item::kSinkKey, it.skey >> 2);
-    // Temps that survive become fillers right away; record the class bit in
-    // the sink decision only. (Class info is no longer needed after this.)
-    w[i] = it;
-  });
+  kernel::transform_range(
+      w, 0, n, kernel::Tick::PerElem, [&](Item& it, size_t i) {
+        const uint64_t offset = i - sg[i].head_index;
+        const bool sink = it.skey == Item::kSinkKey;
+        const bool excess = !sink && offset >= Z;
+        const bool real_excess = excess && (it.skey & 3u) == 0u;
+        of[i] = real_excess ? 1u : 0u;
+        it.skey =
+            oselect<uint64_t>(excess || sink, Item::kSinkKey, it.skey >> 2);
+        // Temps that survive become fillers right away; record the class bit
+        // in the sink decision only. (Class info is no longer needed after
+        // this.)
+      });
   uint64_t lost = 0;
   for (size_t i = 0; i < n; ++i) lost += of[i];
   if (lost != 0) throw BinOverflow{};
@@ -139,8 +137,8 @@ void bin_placement(const slice<R>& in, const slice<R>& out, size_t beta,
 
   // 5. Keep the first beta*Z entries; temps (recognizable as fillers-by-
   // construction) were already materialized as Traits::filler().
-  fj::for_range(0, beta * Z, fj::kDefaultGrain,
-                [&](size_t i) { out[i] = w[i].r; });
+  kernel::generate_range(out, 0, beta * Z, kernel::Tick::None,
+                         [&](R& v, size_t i) { v = w[i].r; });
 }
 
 }  // namespace dopar::obl

@@ -16,6 +16,7 @@
 
 #include "forkjoin/api.hpp"
 #include "obl/elem.hpp"
+#include "obl/kernel/kernel.hpp"
 #include "obl/oswap.hpp"
 #include "sim/session.hpp"
 #include "sim/tracked.hpp"
@@ -24,17 +25,13 @@
 namespace dopar::obl {
 
 /// One comparator: orders a[i], a[j] ascending iff `up`.
-/// Counted as one tick of work/span.
+/// Counted as one tick of work/span. (Forwarder kept for the many policies
+/// that place individual comparators; round-shaped call sites go through
+/// the batch APIs in obl/kernel/kernel.hpp instead.)
 template <class T, class Less>
 inline void comparator(const slice<T>& a, size_t i, size_t j, bool up,
                        const Less& less) {
-  sim::tick(1);
-  T x = a[i];
-  T y = a[j];
-  const bool wrong = up ? less(y, x) : less(x, y);
-  oswap(x, y, wrong);
-  a[i] = x;
-  a[j] = y;
+  kernel::cex_pair(a, i, j, up, less);
 }
 
 namespace detail {
@@ -44,8 +41,9 @@ void bitonic_merge_naive(const slice<T>& a, size_t lo, size_t n, bool up,
                          const Less& less) {
   if (n <= 1) return;
   const size_t k = n / 2;
-  fj::for_range(lo, lo + k, fj::kDefaultGrain,
-                [&](size_t i) { comparator(a, i, i + k, up, less); });
+  fj::for_blocks(lo, lo + k, fj::kDefaultGrain, [&](size_t b0, size_t b1) {
+    kernel::cex_offset_range(a, b0, b1, k, up, less);
+  });
   fj::invoke([&] { bitonic_merge_naive(a, lo, k, up, less); },
              [&] { bitonic_merge_naive(a, lo + k, k, up, less); });
 }
@@ -91,11 +89,8 @@ void bitonic_sort_layerwise(const slice<T>& a, bool up = true,
   if (n <= 1) return;
   for (size_t block = 2; block <= n; block *= 2) {
     for (size_t d = block / 2; d >= 1; d /= 2) {
-      fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
-        if ((i & d) == 0) {
-          const bool dir = up == (((i / block) % 2) == 0);
-          comparator(a, i, i + d, dir, less);
-        }
+      fj::for_blocks(0, n, fj::kDefaultGrain, [&](size_t b0, size_t b1) {
+        kernel::cex_layer(a, b0, b1, block, d, up, less);
       });
     }
   }

@@ -22,6 +22,7 @@
 #include "forkjoin/api.hpp"
 #include "obl/bitonic.hpp"
 #include "obl/elem.hpp"
+#include "obl/kernel/kernel.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
 #include "util/transpose.hpp"
@@ -31,26 +32,37 @@ namespace dopar::obl {
 namespace detail {
 
 /// Problem sizes at or below this run the butterfly directly (still a fixed
-/// network). Must be a power of two.
+/// network). Must be a power of two. This is the *analytic-model* base:
+/// instrumented runs recurse all the way down to it so the measured
+/// work/span/cache asymptotics (and trace digests) match the paper's
+/// recursion — and stay identical to every previously committed snapshot.
 inline constexpr size_t kBitonicCaBase = 8;
 
-/// Serial butterfly (bitonic merge network) on a[0..m).
+/// Base for uninstrumented native execution. The transpose recursion only
+/// pays off once a subproblem outgrows cache; below this, the tiled
+/// butterfly / batched network in obl/kernel/kernel.hpp is faster than
+/// shuffling through scratch. Same comparator network either way — outputs
+/// are identical, only execution order of independent comparators differs.
+inline constexpr size_t kBitonicCaNativeBase = 4096;
+
+inline size_t bitonic_ca_base() {
+  return sim::current_session() ? kBitonicCaBase : kBitonicCaNativeBase;
+}
+
+/// Butterfly (bitonic merge network) on a[0..m). Kept as the historical
+/// entry point; the round execution lives in the kernel layer now
+/// (instrumented: verbatim serial loops; native: L1-tiled batched rounds).
 template <class T, class Less>
 void butterfly_serial(const slice<T>& a, bool up, const Less& less) {
-  const size_t m = a.size();
-  for (size_t d = m / 2; d >= 1; d /= 2) {
-    for (size_t i = 0; i < m; ++i) {
-      if ((i & d) == 0) comparator(a, i, i + d, up, less);
-    }
-  }
+  kernel::butterfly(a, up, less);
 }
 
 template <class T, class Less>
 void merge_ca(const slice<T>& data, const slice<T>& scratch, bool up,
               const Less& less) {
   const size_t m = data.size();
-  if (m <= kBitonicCaBase) {
-    butterfly_serial(data, up, less);
+  if (m <= bitonic_ca_base()) {
+    kernel::butterfly(data, up, less);
     return;
   }
   const unsigned k = util::log2_exact(m);
@@ -73,7 +85,7 @@ template <class T, class Less>
 void sort_ca(const slice<T>& data, const slice<T>& scratch, bool up,
              const Less& less) {
   const size_t n = data.size();
-  if (n <= kBitonicCaBase) {
+  if (n <= bitonic_ca_base()) {
     bitonic_sort(data, up, less);
     return;
   }

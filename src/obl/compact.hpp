@@ -15,6 +15,7 @@
 #include "core/backend.hpp"
 #include "forkjoin/api.hpp"
 #include "obl/elem.hpp"
+#include "obl/kernel/kernel.hpp"
 #include "obl/scan.hpp"
 #include "sim/tracked.hpp"
 
@@ -26,11 +27,9 @@ namespace dopar::obl {
 inline void compact_oblivious(const slice<Elem>& a,
                               const SorterBackend& sorter = default_backend()) {
   const size_t n = a.size();
-  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
-    Elem e = a[i];
-    e.extra = static_cast<uint32_t>(i);
-    a[i] = e;
-  });
+  kernel::transform_range(
+      a, 0, n, kernel::Tick::None,
+      [](Elem& e, size_t i) { e.extra = static_cast<uint32_t>(i); });
   struct Less {
     bool operator()(const Elem& x, const Elem& y) const {
       const uint64_t kx =
@@ -54,11 +53,11 @@ inline size_t compact_reveal(const slice<Elem>& a) {
   vec<Elem> out(n, Elem::filler());
   const slice<Elem> o = out.s();
   const slice<uint64_t> p = pos.s();
-  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+  kernel::for_each(0, n, [&](size_t i) {
     const Elem e = a[i];
     if (!e.is_filler()) o[p[i]] = e;  // data-dependent: allowed here
   });
-  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) { a[i] = o[i]; });
+  kernel::copy_range(a, 0, o, 0, n, kernel::Tick::None);
   return static_cast<size_t>(live);
 }
 

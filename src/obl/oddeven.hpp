@@ -14,6 +14,7 @@
 #include "forkjoin/api.hpp"
 #include "obl/bitonic.hpp"
 #include "obl/elem.hpp"
+#include "obl/kernel/kernel.hpp"
 #include "sim/tracked.hpp"
 #include "util/bits.hpp"
 
@@ -30,9 +31,8 @@ void oe_merge(const slice<T>& a, size_t lo, size_t n, size_t r,
   if (m < n) {
     fj::invoke([&] { oe_merge(a, lo, n, m, less); },
                [&] { oe_merge(a, lo + r, n, m, less); });
-    for (size_t i = lo + r; i + r < lo + n; i += m) {
-      comparator(a, i, i + r, /*up=*/true, less);
-    }
+    // Interior round: strided independent comparators, one batched call.
+    kernel::cex_strided(a, lo + r, lo + n, r, m, less);
   } else {
     comparator(a, lo, lo + r, /*up=*/true, less);
   }

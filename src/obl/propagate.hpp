@@ -11,6 +11,7 @@
 
 #include "forkjoin/api.hpp"
 #include "obl/elem.hpp"
+#include "obl/kernel/kernel.hpp"
 #include "obl/oswap.hpp"
 #include "obl/scan.hpp"
 #include "sim/tracked.hpp"
@@ -47,20 +48,19 @@ inline void propagate_leftmost(const slice<Elem>& a) {
   if (n <= 1) return;
   vec<detail::PropSeg> segs(n);
   const slice<detail::PropSeg> sg = segs.s();
-  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
-    sim::tick(1);
-    const Elem e = a[i];
-    const bool head = (i == 0) || (a[i - 1].key != e.key);
-    sg[i] = detail::PropSeg{e.payload, e.aux, head ? 1u : 0u};
-  });
+  kernel::generate_range(
+      sg, 0, n, kernel::Tick::PerElem, [&](detail::PropSeg& v, size_t i) {
+        const Elem e = a[i];
+        // Short-circuit preserved: position 0 never touches a[-1].
+        const bool head = (i == 0) || (a[i - 1].key != e.key);
+        v = detail::PropSeg{e.payload, e.aux, head ? 1u : 0u};
+      });
   scan_inclusive(sg, detail::PropCombine{});
-  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
-    sim::tick(1);
-    Elem e = a[i];
-    e.payload = sg[i].payload;
-    e.aux = sg[i].aux;
-    a[i] = e;
-  });
+  kernel::transform_range(a, 0, n, kernel::Tick::PerElem,
+                          [&](Elem& e, size_t i) {
+                            e.payload = sg[i].payload;
+                            e.aux = sg[i].aux;
+                          });
 }
 
 }  // namespace dopar::obl

@@ -26,6 +26,7 @@
 #include "core/backend.hpp"
 #include "forkjoin/api.hpp"
 #include "obl/elem.hpp"
+#include "obl/kernel/kernel.hpp"
 #include "obl/oswap.hpp"
 #include "obl/scan.hpp"
 #include "sim/tracked.hpp"
@@ -70,71 +71,66 @@ inline void send_receive(const slice<Elem>& sources, const slice<Elem>& dests,
   // Tag and concatenate: key <- (key << 1) | is_receiver, so a source
   // precedes the receivers asking for its key. Receivers stash their
   // original position in payload until the absorb step.
-  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
-    sim::tick(1);
-    Elem e;
-    if (i < ns) {
-      e = sources[i];
-      // Filler sources are legal (fixed-size proposal arrays pad with
-      // them); they keep the sink key and can never match a receiver.
-      assert(e.is_filler() || e.key < (uint64_t{1} << 63));
-      e.key = obl::oselect<uint64_t>(e.is_filler(), ~uint64_t{0},
-                                     (e.key << 1) | 0u);
-    } else if (i < ns + nd) {
-      e = dests[i - ns];
-      assert(e.key < (uint64_t{1} << 63));
-      e.flags |= Elem::kDest;
-      e.payload = i - ns;  // original receiver index
-      e.key = (e.key << 1) | 1u;
-    } else {
-      e = Elem::filler();
-    }
-    w[i] = e;
-  });
+  kernel::generate_range(
+      w, 0, n, kernel::Tick::PerElem, [&](Elem& e, size_t i) {
+        if (i < ns) {
+          e = sources[i];
+          // Filler sources are legal (fixed-size proposal arrays pad with
+          // them); they keep the sink key and can never match a receiver.
+          assert(e.is_filler() || e.key < (uint64_t{1} << 63));
+          e.key = obl::oselect<uint64_t>(e.is_filler(), ~uint64_t{0},
+                                         (e.key << 1) | 0u);
+        } else if (i < ns + nd) {
+          e = dests[i - ns];
+          assert(e.key < (uint64_t{1} << 63));
+          e.flags |= Elem::kDest;
+          e.payload = i - ns;  // original receiver index
+          e.key = (e.key << 1) | 1u;
+        } else {
+          e = Elem::filler();
+        }
+      });
 
   sorter.sort(w);
 
   // Propagate each key-group's head (a source, if present).
   vec<detail::SrSeg> segv(n);
   const slice<detail::SrSeg> sg = segv.s();
-  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
-    sim::tick(1);
-    const Elem e = w[i];
-    const uint64_t key = e.key >> 1;
-    const uint64_t pkey = w[i == 0 ? 0 : i - 1].key >> 1;
-    const bool head = (i == 0) || (key != pkey);
-    const bool is_src =
-        (e.key & 1u) == 0u && !e.is_filler() && !(e.flags & Elem::kDest);
-    sg[i] = detail::SrSeg{e.payload, e.aux, is_src && head ? 1u : 0u,
+  kernel::generate_range(
+      sg, 0, n, kernel::Tick::PerElem, [&](detail::SrSeg& v, size_t i) {
+        const Elem e = w[i];
+        const uint64_t key = e.key >> 1;
+        const uint64_t pkey = w[i == 0 ? 0 : i - 1].key >> 1;
+        const bool head = (i == 0) || (key != pkey);
+        const bool is_src =
+            (e.key & 1u) == 0u && !e.is_filler() && !(e.flags & Elem::kDest);
+        v = detail::SrSeg{e.payload, e.aux, is_src && head ? 1u : 0u,
                           head ? 1u : 0u};
-  });
+      });
   scan_inclusive(sg, detail::SrCombine{});
 
   // Absorb: receivers take the propagated value and re-key to their
   // original index; everything else sinks.
-  fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
-    sim::tick(1);
-    Elem e = w[i];
-    const bool is_dest = (e.flags & Elem::kDest) != 0;
-    const bool found = sg[i].src_head != 0;
-    Elem r = e;
-    r.key = e.payload;  // original receiver index
-    r.payload = oselect<uint64_t>(found, sg[i].payload, 0);
-    r.aux = oselect<uint64_t>(found, sg[i].aux, 0);
-    r.flags |= found ? 0u : Elem::kNotFound;
-    oassign(is_dest, e, r);
-    oassign(!is_dest, e.key, ~uint64_t{0});
-    w[i] = e;
-  });
+  kernel::transform_range(
+      w, 0, n, kernel::Tick::PerElem, [&](Elem& e, size_t i) {
+        const bool is_dest = (e.flags & Elem::kDest) != 0;
+        const bool found = sg[i].src_head != 0;
+        Elem r = e;
+        r.key = e.payload;  // original receiver index
+        r.payload = oselect<uint64_t>(found, sg[i].payload, 0);
+        r.aux = oselect<uint64_t>(found, sg[i].aux, 0);
+        r.flags |= found ? 0u : Elem::kNotFound;
+        oassign(is_dest, e, r);
+        oassign(!is_dest, e.key, ~uint64_t{0});
+      });
 
   sorter.sort(w);
 
-  fj::for_range(0, nd, fj::kDefaultGrain, [&](size_t i) {
-    sim::tick(1);
-    Elem e = w[i];
-    e.flags &= ~Elem::kDest;
-    results[i] = e;
-  });
+  kernel::generate_range(results, 0, nd, kernel::Tick::PerElem,
+                         [&](Elem& e, size_t i) {
+                           e = w[i];
+                           e.flags &= ~Elem::kDest;
+                         });
 }
 
 }  // namespace detail

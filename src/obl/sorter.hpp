@@ -13,6 +13,11 @@
 //   * OddEvenSorter       — Batcher odd-even merge (AKS stand-in).
 // A network must (a) realize the sorting functionality on power-of-two
 // arrays and (b) have an input-independent access-pattern distribution.
+//
+// All four policies execute their comparator rounds through the batch APIs
+// in obl/kernel/kernel.hpp: instrumented runs replay the historical
+// per-comparator loops exactly (accounting and trace digests unchanged);
+// uninstrumented runs take the runtime-dispatched SIMD oswap kernels.
 
 #include "obl/bitonic.hpp"
 #include "obl/bitonic_ca.hpp"

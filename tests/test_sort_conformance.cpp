@@ -18,12 +18,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "dopar.hpp"
+#include "obl/kernel/dispatch.hpp"
 #include "testutil.hpp"
 
 namespace dopar {
@@ -239,6 +241,76 @@ TEST(SpmsReplay, SpmsScheduleDiffersFromOsort) {
   // comparison phase must actually schedule differently from REC-SORT —
   // otherwise "spms" would be a relabeled "osort".
   EXPECT_NE(pipeline_digest("spms"), pipeline_digest("osort"));
+}
+
+// ---- SIMD dispatch conformance (the comparator-kernel gate) -------------
+
+/// Pin a comparator-kernel ISA for a scope, restoring the startup choice.
+struct ScopedIsa {
+  obl::kernel::Isa prev;
+  explicit ScopedIsa(obl::kernel::Isa isa) : prev(obl::kernel::active_isa()) {
+    EXPECT_TRUE(obl::kernel::select_isa(isa));
+  }
+  ~ScopedIsa() { obl::kernel::select_isa(prev); }
+};
+
+TEST(KernelDispatchConformance, EveryBackendSortsIdenticallyUnderEveryIsa) {
+  // The comparator schedule is a fixed function of n, and comparators
+  // within a round are disjoint — so re-routing the data movement through
+  // a different vector kernel must not change a single output byte, on any
+  // backend, any size, any adversarial input.
+  using obl::kernel::Isa;
+  std::vector<Isa> isas;
+  for (Isa isa : {Isa::Scalar, Isa::Sse2, Isa::Avx2, Isa::Neon}) {
+    if (obl::kernel::isa_supported(isa)) isas.push_back(isa);
+  }
+  ASSERT_FALSE(isas.empty());
+  for (const std::string& backend : backend_names()) {
+    for (size_t n : sweep_sizes()) {
+      for (const AdversarialInput& adv : adversarial_inputs()) {
+        const std::vector<Elem> in = adv.make(n);
+        std::vector<Elem> reference;
+        for (Isa isa : isas) {
+          ScopedIsa guard(isa);
+          auto rt = Runtime::builder().seed(1234).backend(backend).build();
+          vec<Elem> v(in);
+          rt.sort(v.s());
+          const std::string label = std::string(obl::kernel::isa_name(isa)) +
+                                    "/" + backend + "/" + adv.name +
+                                    "/n=" + std::to_string(n);
+          expect_matches_reference(v.underlying(), in, label);
+          if (reference.empty()) {
+            reference = v.underlying();
+          } else {
+            ASSERT_EQ(0, std::memcmp(v.underlying().data(), reference.data(),
+                                     n * sizeof(Elem)))
+                << label << " diverges from " << obl::kernel::isa_name(isas[0]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchConformance, TraceDigestsIdenticalScalarVsSimd) {
+  // Instrumented runs route through the historical scalar loops by
+  // construction, but the selected ISA must not leak into the trace even
+  // indirectly: the full pipeline digest has to replay bit-for-bit no
+  // matter which kernel is dispatched.
+  using obl::kernel::Isa;
+  for (const std::string& backend : backend_names()) {
+    uint64_t scalar_digest = 0;
+    {
+      ScopedIsa guard(Isa::Scalar);
+      scalar_digest = pipeline_digest(backend.c_str());
+    }
+    for (Isa isa : {Isa::Sse2, Isa::Avx2, Isa::Neon}) {
+      if (!obl::kernel::isa_supported(isa)) continue;
+      ScopedIsa guard(isa);
+      EXPECT_EQ(pipeline_digest(backend.c_str()), scalar_digest)
+          << backend << " under " << obl::kernel::isa_name(isa);
+    }
+  }
 }
 
 }  // namespace
