@@ -1,0 +1,131 @@
+// Serving-layer throughput: naive per-request submission (each request
+// runs its own full oblivious-sort pipeline) vs the Service's coalescer
+// (queued requests merged into one comparator-network sort over
+// slot-tagged composite keys).
+//
+// Wall-clock, machine-dependent — the committed BENCH_service.json rows
+// are report-only in CI ("service" is listed in WALL_CLOCK_SECTIONS).
+// Schema note: for this section the `work` column holds REQUESTS PER
+// SECOND (higher is better), not microseconds; the backend column tags
+// the queue depth ("q=64"). Best of kIters runs per configuration.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dopar.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+constexpr int kIters = 3;
+
+std::vector<uint64_t> req_keys(uint64_t tag, size_t n) {
+  std::vector<uint64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = dopar::util::hash_rand(tag, i) % 100000;
+  }
+  return keys;
+}
+
+dopar::Runtime make_rt() {
+  return dopar::Runtime::builder()
+      .threads(0)
+      .seed(1)
+      .max_job_workers(8)
+      .build();
+}
+
+/// What an application does without the serving layer: one submitted job
+/// per request, each running the canonical full pipeline.
+double naive_rps(size_t n, size_t depth) {
+  auto rt = make_rt();
+  std::vector<std::vector<uint64_t>> inputs;
+  inputs.reserve(depth);
+  for (size_t r = 0; r < depth; ++r) inputs.push_back(req_keys(r, n));
+
+  const auto t0 = Clock::now();
+  std::vector<dopar::Future<uint64_t>> futs;
+  futs.reserve(depth);
+  for (size_t r = 0; r < depth; ++r) {
+    futs.push_back(rt.submit([&rt, &inputs, r] {
+      std::vector<dopar::Elem> rows(inputs[r].size());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        rows[i].key = inputs[r][i];
+        rows[i].payload = i;
+      }
+      auto v = rt.make_vec(std::move(rows));
+      rt.sort(v.s());
+      return v.s().raw(0).key;
+    }));
+  }
+  for (auto& f : futs) (void)f.get();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return static_cast<double>(depth) / secs;
+}
+
+/// The same requests through the Service, coalesced at full queue depth.
+double coalesced_rps(size_t n, size_t depth) {
+  auto rt = make_rt();
+  dopar::svc::Options o;
+  o.window = std::chrono::minutes(10);  // flush() triggers the dispatch
+  o.max_batch_requests = depth;
+  o.max_batch_elems = depth * n;
+  o.queue_limit = depth;
+  dopar::Service s(rt, o);
+  std::vector<std::vector<uint64_t>> inputs;
+  inputs.reserve(depth);
+  for (size_t r = 0; r < depth; ++r) inputs.push_back(req_keys(r, n));
+
+  const auto t0 = Clock::now();
+  std::vector<dopar::Future<std::vector<uint64_t>>> futs;
+  futs.reserve(depth);
+  for (size_t r = 0; r < depth; ++r) {
+    futs.push_back(s.sort(/*tenant=*/r, inputs[r]));
+  }
+  s.flush();
+  for (auto& f : futs) (void)f.get();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return static_cast<double>(depth) / secs;
+}
+
+template <class F>
+double best_of(F&& f) {
+  double best = 0;
+  for (int i = 0; i < kIters; ++i) best = std::max(best, f());
+  return best;
+}
+
+void run_config(size_t n, size_t depth) {
+  const double naive = best_of([&] { return naive_rps(n, depth); });
+  const double coal = best_of([&] { return coalesced_rps(n, depth); });
+  const std::string tag = "q=" + std::to_string(depth);
+  dopar::bench::Measure mn, mc;
+  mn.work = static_cast<uint64_t>(naive);  // requests/sec (see header)
+  mc.work = static_cast<uint64_t>(coal);
+  dopar::bench::record("service", "naive", n, tag, mn);
+  dopar::bench::record("service", "coalesced", n, tag, mc);
+  std::printf("%8zu %8zu %14.0f %14.0f %9.2fx\n", n, depth, naive, coal,
+              coal / naive);
+}
+
+}  // namespace
+
+int main() {
+  dopar::bench::print_header(
+      "serving throughput: naive vs coalesced (requests/sec)",
+      "       n    depth      naive r/s  coalesced r/s    speedup");
+  for (size_t depth : {size_t{16}, size_t{64}, size_t{256}}) {
+    run_config(256, depth);
+  }
+  for (size_t depth : {size_t{16}, size_t{64}}) {
+    run_config(1024, depth);
+  }
+  dopar::bench::write_json("BENCH_service.json");
+  return 0;
+}

@@ -24,6 +24,9 @@
 namespace dopar {
 
 class Runtime;
+namespace svc {
+class Service;
+}
 
 template <class T>
 class Future {
@@ -62,6 +65,11 @@ class Future {
 
  private:
   friend class Runtime;
+  // The serving layer (svc::Service) completes its futures from its own
+  // dispatcher promises rather than from submitted jobs; those futures
+  // carry no JobState, so the blocking rule never triggers for them —
+  // which is correct, because the dispatcher thread is not a job worker.
+  friend class svc::Service;
   Future(std::future<T> f, std::shared_ptr<sched::JobState> state)
       : fut_(std::move(f)), state_(std::move(state)) {}
   std::future<T> fut_;

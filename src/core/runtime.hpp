@@ -88,6 +88,7 @@
 #include "sched/scheduler.hpp"
 #include "sim/session.hpp"
 #include "sim/tracked.hpp"
+#include "util/bits.hpp"
 #include "util/rng.hpp"
 
 namespace dopar {
@@ -143,6 +144,15 @@ class Runtime {
       policy_ = p;
       return *this;
     }
+    /// Cap on concurrently executing submit() jobs (the job-worker pool;
+    /// default sched::Scheduler::kMaxJobWorkers = 4). 0 is floored to 1.
+    /// The serving layer (svc::Service) runs its batches as submitted
+    /// jobs, so a Service host typically wants a wider pool than the
+    /// default.
+    Builder& max_job_workers(size_t n) {
+      job_workers_ = n == 0 ? 1 : n;
+      return *this;
+    }
     /// Work/span accounting (serial analytic execution).
     Builder& analytic() {
       analytic_ = true;
@@ -174,6 +184,7 @@ class Runtime {
     core::Variant variant_ = core::Variant::Practical;
     std::string backend_name_ = "bitonic_ca";
     sched::SchedPolicy policy_ = sched::SchedPolicy::Exclusive;
+    size_t job_workers_ = sched::Scheduler::kMaxJobWorkers;
     bool analytic_ = false;
     uint64_t cache_m_ = 0;
     uint64_t cache_b_ = 64;
@@ -201,6 +212,45 @@ class Runtime {
   }
   void sort(const slice<obl::Elem>& a, core::Variant v) {
     sort(a, SortOptions{.backend = {}, .variant = v, .params = {}});
+  }
+
+  /// Sort `a` by key directly on the sorter backend — the same layer every
+  /// composite primitive routes its internal sorts through — with no
+  /// random-permutation pipeline around it. For the network backends
+  /// ("bitonic_ca", "bitonic", "odd_even", ...) this is a deterministic
+  /// data-oblivious comparator-network sort, which at serving-size inputs
+  /// is far cheaper than the full Theorem 3.2 pipeline (the sort-algorithm
+  /// backends "osort"/"spms" still run their full sort). The serving
+  /// layer's coalescer batches many small requests into one of these.
+  /// Any size is accepted: the networks need a power-of-two array, so a
+  /// non-power-of-two input is sorted through a filler-padded scratch
+  /// buffer (fillers carry the maximal key and land in the dropped tail).
+  /// Keys must therefore be < 2^64-1, as everywhere else in the library.
+  void backend_sort(const slice<obl::Elem>& a, const SortOptions& opts = {}) {
+    const auto sorter = resolve(opts);
+    with_env([&] {
+      const size_t n = a.size();
+      if (n <= 1 || util::is_pow2(n)) {
+        sorter->sort(a);
+        return;
+      }
+      const size_t padded = util::pow2_ceil(n);
+      vec<obl::Elem> tmp(padded);
+      const slice<obl::Elem> t = tmp.s();
+      fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+        sim::tick(1);
+        t[i] = a[i];
+      });
+      fj::for_range(n, padded, fj::kDefaultGrain, [&](size_t i) {
+        sim::tick(1);
+        t[i] = obl::Elem::filler();
+      });
+      sorter->sort(t);
+      fj::for_range(0, n, fj::kDefaultGrain, [&](size_t i) {
+        sim::tick(1);
+        a[i] = t[i];
+      });
+    });
   }
 
   /// Obliviously permute `in` into `out` uniformly at random (ORP).
@@ -391,7 +441,8 @@ class Runtime {
   /// result. A job body drives parallelism by calling Runtime methods
   /// (each leases the pool per call); direct fj:: primitives in the body
   /// execute serially, exactly as on any other non-worker thread. Up to
-  /// kMaxSubmitWorkers jobs execute concurrently; whether their primitive
+  /// submit_workers() jobs execute concurrently (Builder::max_job_workers,
+  /// default kMaxSubmitWorkers = 4); whether their primitive
   /// calls serialize (Exclusive) or overlap on worker slices
   /// (Sliced/Stealing) is the Builder's .scheduler() policy. Exceptions
   /// thrown by `fn` surface at Future::get(). Jobs still queued when the
@@ -442,8 +493,14 @@ class Runtime {
     return fut;
   }
 
-  /// Maximum number of concurrently executing submitted jobs.
+  /// Default cap on concurrently executing submitted jobs (the built cap
+  /// is Builder::max_job_workers; see submit_workers()).
   static constexpr size_t kMaxSubmitWorkers = sched::Scheduler::kMaxJobWorkers;
+
+  /// The configured cap on concurrently executing submitted jobs.
+  size_t submit_workers() const {
+    return sched_ ? sched_->max_job_workers() : kMaxSubmitWorkers;
+  }
 
   // ---- tracked-buffer helpers -----------------------------------------
 
@@ -494,6 +551,15 @@ class Runtime {
   sched::SchedPolicy scheduler_policy() const {
     return sched_ ? sched_->policy() : sched::SchedPolicy::Exclusive;
   }
+  /// Retarget the scheduler policy at runtime — the serving layer's
+  /// adaptive governor switches Exclusive <-> Sliced <-> Stealing from
+  /// observed load. Safe under live primitives (see
+  /// sched::Scheduler::set_policy); results and replay digests never
+  /// depend on the policy. No-op effect on instrumented Runtimes, whose
+  /// execution is serial by construction.
+  void set_scheduler_policy(sched::SchedPolicy p) {
+    if (sched_) sched_->set_policy(p);
+  }
   uint64_t master_seed() const { return seed_; }
   core::SortParams params() const { return params_; }
   core::Variant variant() const { return variant_; }
@@ -528,7 +594,7 @@ class Runtime {
     // The scheduler exists even for serial / instrumented Runtimes (its
     // arena is simply empty): it is the submit() job queue either way.
     sched_ = std::make_unique<sched::Scheduler>(
-        session_ ? 1 : b.threads_, b.policy_);
+        session_ ? 1 : b.threads_, b.policy_, b.job_workers_);
   }
 
   /// Per-job seed stream: installed thread-locally for the duration of a

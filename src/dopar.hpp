@@ -20,6 +20,7 @@
 #include "core/backend.hpp"
 #include "core/future.hpp"
 #include "core/runtime.hpp"
+#include "svc/service.hpp"
 
 namespace dopar {
 
@@ -36,5 +37,9 @@ using apps::Edge;
 using apps::ExprTree;
 using apps::GEdge;
 using apps::TreeFunctions;
+// Serving layer (svc/service.hpp): dopar::Service batches many small sort
+// requests over one Runtime; its knobs stay namespaced (dopar::svc::Options,
+// dopar::svc::GovernorConfig, dopar::svc::SubmitTimeout).
+using svc::Service;
 
 }  // namespace dopar

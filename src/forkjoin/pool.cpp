@@ -69,6 +69,12 @@ void Pool::release_external_slot(int queue_idx) {
   free_slots_.push_back(queue_idx);
 }
 
+void Pool::set_share_idle(bool share) {
+  share_idle_.store(share, std::memory_order_relaxed);
+  // A newly permissive rule may let sleeping workers serve foreign slices.
+  if (share) sleep_cv_.notify_all();
+}
+
 void Pool::assign_worker_slice(unsigned w, uint32_t slice) {
   assert(w < n_workers_);
   if (slice != kSharedSlice) {
@@ -129,7 +135,7 @@ Task* Pool::try_steal(unsigned self) {
                                         std::memory_order_relaxed);
   seed ^= seed >> 33;
   seed *= 0xff51afd7ed558ccdULL;
-  const int passes = share_idle_ ? 2 : 1;
+  const int passes = share_idle_.load(std::memory_order_relaxed) ? 2 : 1;
   for (int pass = 0; pass < passes; ++pass) {
     for (unsigned attempt = 0; attempt < n; ++attempt) {
       const unsigned v = static_cast<unsigned>((seed + attempt) % n);

@@ -153,7 +153,15 @@ class Pool {
   /// effect at the worker's next task lookup; a task it is already
   /// executing finishes normally, so re-tagging is safe at any time.
   void assign_worker_slice(unsigned w, uint32_t slice);
-  bool share_idle() const { return share_idle_; }
+  bool share_idle() const {
+    return share_idle_.load(std::memory_order_relaxed);
+  }
+  /// Switch the cross-slice stealing rule at runtime (the scheduler's
+  /// dynamic Sliced <-> Stealing transition). Takes effect at each
+  /// worker's next steal attempt; tasks already executing are unaffected,
+  /// so flipping under load is safe — a worker mid-steal may use the old
+  /// rule once, which costs at most one suboptimal victim choice.
+  void set_share_idle(bool share);
 
  private:
   friend class PoolView;
@@ -204,7 +212,7 @@ class Pool {
 
   unsigned n_workers_ = 0;
   unsigned n_external_ = 1;
-  bool share_idle_ = true;
+  std::atomic<bool> share_idle_{true};
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> threads_;
   std::atomic<bool> shutdown_{false};

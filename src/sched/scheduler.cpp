@@ -13,19 +13,29 @@ uint64_t next_scheduler_id() {
 }
 }  // namespace
 
-Scheduler::Scheduler(unsigned threads, SchedPolicy policy)
-    : policy_(policy), id_(next_scheduler_id()) {
+Scheduler::Scheduler(unsigned threads, SchedPolicy policy,
+                     size_t max_job_workers)
+    : policy_(policy),
+      id_(next_scheduler_id()),
+      max_job_workers_(max_job_workers == 0 ? 1 : max_job_workers) {
   if (threads > 1) {
     // Enough external slots for every concurrent lease holder: the
     // bounded job workers plus direct method calls from client threads.
     // On exhaustion a lease degrades to serial participation (correct,
     // just slower), so the headroom is latency, not correctness.
-    const unsigned slots = static_cast<unsigned>(kMaxJobWorkers) + 4;
+    const unsigned slots = static_cast<unsigned>(max_job_workers_) + 4;
     pool_ = std::make_unique<fj::Pool>(threads - 1, slots,
                                        policy == SchedPolicy::Stealing);
     free_workers_.reserve(threads - 1);
     for (unsigned w = 0; w < threads - 1; ++w) free_workers_.push_back(w);
   }
+}
+
+void Scheduler::set_policy(SchedPolicy p) {
+  policy_.store(p, std::memory_order_release);
+  // Keep the pool's cross-slice stealing rule in step: Stealing is the
+  // only policy whose leases expect idle capacity to flow between slices.
+  if (pool_) pool_->set_share_idle(p == SchedPolicy::Stealing);
 }
 
 Scheduler::~Scheduler() {
@@ -107,7 +117,7 @@ void Scheduler::enqueue(std::function<void()> job,
     jobs_.emplace_back(std::move(job), std::move(state));
     // Lazily grow the job-worker set while jobs outnumber workers
     // (capped): a Runtime that never submits pays nothing.
-    if (job_threads_.size() < kMaxJobWorkers &&
+    if (job_threads_.size() < max_job_workers_ &&
         job_threads_.size() < jobs_.size() + running_jobs_) {
       try {
         job_threads_.emplace_back([this] { job_loop(); });

@@ -60,8 +60,10 @@ class Scheduler {
   /// included): threads > 1 builds an arena with threads-1 workers;
   /// threads <= 1 builds no arena and every primitive runs serially on
   /// its calling thread (jobs still overlap under non-exclusive
-  /// policies).
-  Scheduler(unsigned threads, SchedPolicy policy);
+  /// policies). `max_job_workers` caps the concurrently executing
+  /// submit() jobs (floored at 1; default kMaxJobWorkers).
+  Scheduler(unsigned threads, SchedPolicy policy,
+            size_t max_job_workers = kMaxJobWorkers);
 
   /// Drains every queued job (executing it), then joins the job workers.
   /// The arena is torn down last, after no job can touch it.
@@ -70,7 +72,21 @@ class Scheduler {
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  SchedPolicy policy() const { return policy_; }
+  SchedPolicy policy() const {
+    return policy_.load(std::memory_order_relaxed);
+  }
+  /// Retarget the scheduling policy at runtime (the serving layer's
+  /// adaptive governor drives this from observed load). Safe under live
+  /// primitives: each run_primitive() call samples the policy once at
+  /// entry and follows that path to completion, and the two paths are
+  /// individually safe against each other — an Exclusive-path primitive
+  /// holds the execution mutex while a Sliced-path primitive leases slice
+  /// workers. The only transition cost is transient: primitives admitted
+  /// under different policies may briefly overlap (weakening Exclusive's
+  /// one-at-a-time promise for calls already in flight) or share the
+  /// arena suboptimally. WHAT a primitive computes never depends on the
+  /// policy, so results and replay digests are unaffected.
+  void set_policy(SchedPolicy p);
   fj::Pool* pool() { return pool_.get(); }
   /// Total parallelism of one full-arena primitive (1 = serial).
   unsigned parallelism() const { return pool_ ? pool_->workers() : 1; }
@@ -88,7 +104,10 @@ class Scheduler {
   /// (fj::invoke dispatch).
   template <class F>
   void run_primitive(F&& f) {
-    if (policy_ == SchedPolicy::Exclusive) {
+    // Sample once: a concurrent set_policy must not switch paths mid-call
+    // (the Exclusive path must unlock the mutex it locked).
+    const SchedPolicy p = policy_.load(std::memory_order_acquire);
+    if (p == SchedPolicy::Exclusive) {
       std::lock_guard<std::mutex> lk(exec_m_);
       if (pool_) {
         fj::ScopedPool guard(*pool_);
@@ -109,8 +128,12 @@ class Scheduler {
 
   // ---- job execution (Runtime::submit) --------------------------------
 
-  /// Maximum number of concurrently executing submitted jobs.
+  /// Default cap on concurrently executing submitted jobs (the actual cap
+  /// is the constructor's max_job_workers; see max_job_workers()).
   static constexpr size_t kMaxJobWorkers = 4;
+
+  /// The configured cap on concurrently executing submitted jobs.
+  size_t max_job_workers() const { return max_job_workers_; }
 
   /// Enqueue a type-erased job (Runtime::submit wraps the user fn in a
   /// packaged_task upstream). Stamps and advances `state` so Futures can
@@ -140,8 +163,9 @@ class Scheduler {
   void rebalance_locked();
   void job_loop();
 
-  const SchedPolicy policy_;
+  std::atomic<SchedPolicy> policy_;
   const uint64_t id_;
+  const size_t max_job_workers_;
   std::unique_ptr<fj::Pool> pool_;
   std::mutex exec_m_;  ///< Exclusive policy: the classic primitive mutex.
 

@@ -1,0 +1,74 @@
+#pragma once
+// svc::Governor — adaptive scheduler-policy selection from serving load.
+//
+// The Runtime's scheduler policy (sched/scheduler.hpp) trades arena
+// utilization against per-primitive parallelism: Exclusive gives one
+// pipeline the whole arena, Sliced hard-partitions it across concurrent
+// pipelines, Stealing additionally lets idle slices help busy ones. No
+// single setting is right across a serving workload's load curve, so the
+// Service re-decides after every dispatch and completion from two cheap
+// signals it already tracks — queue depth and in-flight batch count:
+//
+//   deep queue or saturated batch slots  ->  Stealing  (keep every worker
+//                                            busy; backlog dominates)
+//   >= 2 concurrent pipelines expected   ->  Sliced    (isolate them)
+//   otherwise                            ->  Exclusive (one pipeline gets
+//                                            the full arena)
+//
+// Policy only shapes HOW primitives share the machine; results and replay
+// digests never depend on it (Runtime::set_scheduler_policy), so the
+// governor can switch freely under load.
+
+#include <cstddef>
+
+#include "sched/scheduler.hpp"
+
+namespace dopar::svc {
+
+struct GovernorConfig {
+  /// Queue depth at or above which the backlog dominates -> Stealing.
+  size_t stealing_queue = 16;
+  /// In-flight batches at or above which the arena is contended -> Stealing.
+  size_t stealing_inflight = 3;
+  /// Queue depth that predicts one more pipeline about to dispatch (counts
+  /// toward the >= 2 concurrent pipelines that justify Sliced).
+  size_t sliced_queue = 2;
+};
+
+class Governor {
+ public:
+  explicit Governor(GovernorConfig cfg = {},
+                    sched::SchedPolicy initial = sched::SchedPolicy::Exclusive)
+      : cfg_(cfg), current_(initial) {}
+
+  /// Pure decision function (unit-testable): the policy the load level
+  /// calls for.
+  static sched::SchedPolicy decide(const GovernorConfig& cfg, size_t queued,
+                                   size_t inflight) {
+    if (queued >= cfg.stealing_queue || inflight >= cfg.stealing_inflight) {
+      return sched::SchedPolicy::Stealing;
+    }
+    if (inflight + (queued >= cfg.sliced_queue ? 1 : 0) >= 2) {
+      return sched::SchedPolicy::Sliced;
+    }
+    return sched::SchedPolicy::Exclusive;
+  }
+
+  /// Feed an observation; returns true when the policy changed (the caller
+  /// applies current() to its Runtime and counts the switch).
+  bool observe(size_t queued, size_t inflight) {
+    const sched::SchedPolicy p = decide(cfg_, queued, inflight);
+    if (p == current_) return false;
+    current_ = p;
+    return true;
+  }
+
+  sched::SchedPolicy current() const { return current_; }
+  const GovernorConfig& config() const { return cfg_; }
+
+ private:
+  GovernorConfig cfg_;
+  sched::SchedPolicy current_;
+};
+
+}  // namespace dopar::svc

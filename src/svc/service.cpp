@@ -1,0 +1,372 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dopar::svc {
+
+namespace {
+/// Log2 bucket of a batch size: bucket b counts sizes in [2^b, 2^(b+1)),
+/// bucket 16 absorbs the rest.
+size_t hist_bucket(size_t m) {
+  size_t b = 0;
+  while (b < 16 && (size_t{1} << (b + 1)) <= m) ++b;
+  return b;
+}
+}  // namespace
+
+Service::Service(Runtime& rt, Options opts)
+    : rt_(rt),
+      opts_(std::move(opts)),
+      governor_(opts_.governor, rt.scheduler_policy()) {
+  if (opts_.max_batch_requests == 0) opts_.max_batch_requests = 1;
+  if (opts_.max_batch_requests > kMaxBatchSlots) {
+    opts_.max_batch_requests = kMaxBatchSlots;  // slot-tag capacity
+  }
+  if (opts_.max_batch_elems == 0) opts_.max_batch_elems = 1;
+  if (opts_.max_inflight_batches == 0) opts_.max_inflight_batches = 1;
+  if (opts_.queue_limit == 0) opts_.queue_limit = 1;
+  // Validate the batch backend now: a typo'd name must throw in the
+  // constructor, not inside the dispatcher where nobody can catch it.
+  if (!opts_.batch_backend.empty()) {
+    (void)find_backend_factory(opts_.batch_backend);
+  }
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+Service::~Service() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  cv_space_.notify_all();
+  // The dispatcher drains the queue and waits out in-flight batches
+  // before returning, so join implies every Future is completed.
+  dispatcher_.join();
+}
+
+Future<std::vector<uint64_t>> Service::sort(uint64_t tenant,
+                                            std::vector<uint64_t> keys) {
+  auto prom = std::make_shared<std::promise<std::vector<uint64_t>>>();
+  Future<std::vector<uint64_t>> fut(prom->get_future(), nullptr);
+  const Admit a = enqueue(
+      tenant, std::move(keys),
+      [prom](std::vector<uint64_t>&& k, std::vector<uint32_t>&&,
+             std::exception_ptr err) {
+        if (err) {
+          prom->set_exception(err);
+        } else {
+          prom->set_value(std::move(k));
+        }
+      },
+      /*block=*/true);
+  throw_on(a);
+  return fut;
+}
+
+std::optional<Future<std::vector<uint64_t>>> Service::try_sort(
+    uint64_t tenant, std::vector<uint64_t> keys) {
+  auto prom = std::make_shared<std::promise<std::vector<uint64_t>>>();
+  Future<std::vector<uint64_t>> fut(prom->get_future(), nullptr);
+  const Admit a = enqueue(
+      tenant, std::move(keys),
+      [prom](std::vector<uint64_t>&& k, std::vector<uint32_t>&&,
+             std::exception_ptr err) {
+        if (err) {
+          prom->set_exception(err);
+        } else {
+          prom->set_value(std::move(k));
+        }
+      },
+      /*block=*/false);
+  if (a != Admit::kOk) return std::nullopt;
+  return fut;
+}
+
+void Service::flush() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    flush_ = true;
+  }
+  cv_work_.notify_all();
+}
+
+Service::Stats Service::stats() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return stats_;
+}
+
+size_t Service::queue_depth() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return queue_.size();
+}
+
+void Service::throw_on(Admit a) {
+  if (a == Admit::kTimeout) {
+    throw SubmitTimeout(
+        "svc::Service: submit timed out waiting for queue space");
+  }
+  assert(a == Admit::kOk && "blocking submit cannot observe kFull");
+}
+
+Service::Admit Service::enqueue(uint64_t tenant, std::vector<uint64_t> keys,
+                                FinishFn finish, bool block) {
+  for (uint64_t k : keys) {
+    if (k == std::numeric_limits<uint64_t>::max()) {
+      throw std::invalid_argument(
+          "svc::Service: key 2^64-1 is reserved (the filler sentinel)");
+    }
+  }
+  if (keys.size() > std::numeric_limits<uint32_t>::max()) {
+    throw std::invalid_argument("svc::Service: request exceeds 2^32-1 keys");
+  }
+  if (keys.empty()) {
+    // Nothing to sort: complete inline, no queue space consumed.
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (stop_) throw std::logic_error("svc::Service: submit after stop");
+      ++stats_.accepted;
+    }
+    finish({}, {}, nullptr);
+    return Admit::kOk;
+  }
+
+  PendingReq req;
+  req.tenant = tenant;
+  req.stream = request_stream(opts_.seed, request_digest(tenant, keys));
+  req.coalescible =
+      keys.size() <= opts_.max_batch_elems &&
+      std::all_of(keys.begin(), keys.end(),
+                  [](uint64_t k) { return coalescible_key(k); });
+  req.keys = std::move(keys);
+  req.finish = std::move(finish);
+
+  std::unique_lock<std::mutex> lk(m_);
+  if (stop_) throw std::logic_error("svc::Service: submit after stop");
+  const auto has_space = [&] {
+    return stop_ || queue_.size() < opts_.queue_limit;
+  };
+  if (!has_space()) {
+    if (!block) {
+      ++stats_.rejected;
+      return Admit::kFull;
+    }
+    if (opts_.submit_timeout) {
+      if (!cv_space_.wait_for(lk, *opts_.submit_timeout, has_space)) {
+        ++stats_.timed_out;
+        return Admit::kTimeout;
+      }
+    } else {
+      cv_space_.wait(lk, has_space);
+    }
+    if (stop_) throw std::logic_error("svc::Service: submit after stop");
+  }
+  req.ticket = ++next_ticket_;
+  req.enqueued = std::chrono::steady_clock::now();
+  queued_elems_ += req.keys.size();
+  queue_.push_back(std::move(req));
+  ++stats_.accepted;
+  stats_.queue_depth_high_water =
+      std::max(stats_.queue_depth_high_water, queue_.size());
+  lk.unlock();
+  cv_work_.notify_all();
+  return Admit::kOk;
+}
+
+bool Service::ripe_locked() const {
+  if (queue_.empty()) return false;
+  if (stop_ || flush_) return true;
+  // An uncoalescible head gains nothing from waiting for batch-mates.
+  if (!queue_.front().coalescible) return true;
+  if (queue_.size() >= opts_.max_batch_requests) return true;
+  if (queued_elems_ >= opts_.max_batch_elems) return true;
+  return std::chrono::steady_clock::now() - queue_.front().enqueued >=
+         opts_.window;
+}
+
+std::shared_ptr<Service::Batch> Service::carve_locked() {
+  auto b = std::make_shared<Batch>();
+  if (!queue_.front().coalescible) {
+    queued_elems_ -= queue_.front().keys.size();
+    b->reqs.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  } else {
+    // Sweep the whole queue for coalescible requests (relative order
+    // kept): an uncoalescible request in the middle must not split the
+    // batch — it stays queued and dispatches solo once it reaches the
+    // front.
+    size_t elems = 0;
+    for (auto it = queue_.begin();
+         it != queue_.end() && b->reqs.size() < opts_.max_batch_requests;) {
+      if (!it->coalescible) {
+        ++it;
+        continue;
+      }
+      if (!b->reqs.empty() &&
+          elems + it->keys.size() > opts_.max_batch_elems) {
+        break;
+      }
+      elems += it->keys.size();
+      queued_elems_ -= it->keys.size();
+      b->reqs.push_back(std::move(*it));
+      it = queue_.erase(it);
+    }
+  }
+  b->coalesced = b->reqs.size() >= 2;
+  return b;
+}
+
+void Service::dispatcher_loop() {
+  std::unique_lock<std::mutex> lk(m_);
+  for (;;) {
+    cv_work_.wait(lk, [&] { return stop_ || flush_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) break;
+      flush_ = false;  // flush with nothing queued: trivially satisfied
+      continue;
+    }
+    // Let the coalescing window run down unless a threshold already
+    // fired (a wait_until timeout means the window itself elapsed).
+    while (!ripe_locked()) {
+      const auto deadline = queue_.front().enqueued + opts_.window;
+      if (cv_work_.wait_until(lk, deadline) == std::cv_status::timeout) {
+        break;
+      }
+      if (queue_.empty()) break;  // defensive: only this thread pops
+    }
+    if (queue_.empty()) continue;
+    // Batch-slot gate: bounds the submitted jobs the Service keeps in
+    // flight (the job-worker pool itself is Runtime's max_job_workers).
+    cv_work_.wait(lk,
+                  [&] { return inflight_ < opts_.max_inflight_batches; });
+    std::shared_ptr<Batch> batch = carve_locked();
+    if (queue_.empty()) flush_ = false;
+    ++inflight_;
+    const size_t m = batch->reqs.size();
+    ++stats_.batches;
+    if (batch->coalesced) {
+      stats_.coalesced_requests += m;
+    } else {
+      ++stats_.solo_batches;
+      ++stats_.solo_requests;
+    }
+    ++stats_.batch_size_hist[hist_bucket(m)];
+    stats_.inflight_high_water =
+        std::max(stats_.inflight_high_water, inflight_);
+    governor_observe_locked();
+    lk.unlock();
+    cv_space_.notify_all();
+    rt_.submit([this, batch] {
+      run_batch(*batch);
+      return 0;  // per-request results flow through the promises instead
+    });
+    lk.lock();
+  }
+  // Drain: every dispatched batch completes before the dtor returns, so
+  // no Future is ever abandoned and no completion outlives the Service.
+  cv_work_.wait(lk, [&] { return inflight_ == 0; });
+}
+
+void Service::run_batch(Batch& b) {
+  try {
+    if (b.coalesced) {
+      run_coalesced(b);
+    } else {
+      run_solo(b);
+    }
+  } catch (...) {
+    const std::exception_ptr err = std::current_exception();
+    for (size_t i = b.done; i < b.reqs.size(); ++i) {
+      b.reqs[i].finish({}, {}, err);
+    }
+  }
+  std::lock_guard<std::mutex> lk(m_);
+  --inflight_;
+  governor_observe_locked();
+  cv_work_.notify_all();
+}
+
+void Service::run_coalesced(Batch& b) {
+  // One oblivious sort serves the whole batch: slot-tag every request's
+  // keys (slot = position in the batch), sort the union by the composite
+  // key, and split the result back — each request's rows come out
+  // contiguous and key-sorted. The sort runs on the backend layer
+  // directly (comparator network by default): deterministic, oblivious,
+  // and at serving sizes far cheaper than one full pipeline per request.
+  size_t total = 0;
+  for (const PendingReq& r : b.reqs) total += r.keys.size();
+  std::vector<obl::Elem> rows;
+  rows.reserve(total);
+  for (size_t s = 0; s < b.reqs.size(); ++s) {
+    const std::vector<uint64_t>& keys = b.reqs[s].keys;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      obl::Elem e;
+      e.key = composite_key(s, keys[i]);
+      e.payload = i;
+      rows.push_back(e);
+    }
+  }
+  vec<obl::Elem> v = rt_.make_vec(std::move(rows));
+  SortOptions o;
+  o.backend = opts_.batch_backend;
+  rt_.backend_sort(v.s(), o);
+  const slice<obl::Elem> sorted = v.s();
+  size_t off = 0;
+  for (size_t s = 0; s < b.reqs.size(); ++s) {
+    PendingReq& r = b.reqs[s];
+    const size_t m = r.keys.size();
+    std::vector<uint64_t> out(m);
+    std::vector<uint32_t> order(m);
+    for (size_t i = 0; i < m; ++i) {
+      const obl::Elem& e = sorted.raw(off + i);  // harness read: untracked
+      assert(composite_slot(e.key) == s);
+      out[i] = composite_request_key(e.key);
+      order[i] = static_cast<uint32_t>(e.payload);
+    }
+    off += m;
+    complete(b, r, std::move(out), std::move(order));
+  }
+}
+
+void Service::run_solo(Batch& b) {
+  // Uncoalescible (or lone) request: the canonical Theorem 3.2 pipeline,
+  // exactly what a direct Runtime::sort user would run.
+  PendingReq& r = b.reqs.front();
+  const size_t m = r.keys.size();
+  std::vector<obl::Elem> rows(m);
+  for (size_t i = 0; i < m; ++i) {
+    rows[i].key = r.keys[i];
+    rows[i].payload = i;
+  }
+  vec<obl::Elem> v = rt_.make_vec(std::move(rows));
+  rt_.sort(v.s());
+  const slice<obl::Elem> sorted = v.s();
+  std::vector<uint64_t> out(m);
+  std::vector<uint32_t> order(m);
+  for (size_t i = 0; i < m; ++i) {
+    const obl::Elem& e = sorted.raw(i);  // harness read: untracked
+    out[i] = e.key;
+    order[i] = static_cast<uint32_t>(e.payload);
+  }
+  complete(b, r, std::move(out), std::move(order));
+}
+
+void Service::complete(Batch& b, PendingReq& r, std::vector<uint64_t> keys,
+                       std::vector<uint32_t> order) {
+  // Canonical tie order: a pure function of (request, service seed), so
+  // the bytes handed to the promise are identical no matter which engine
+  // sorted the keys or which batch the request rode in.
+  normalize_ties(keys, order, r.stream);
+  r.finish(std::move(keys), std::move(order), nullptr);
+  ++b.done;
+}
+
+void Service::governor_observe_locked() {
+  if (governor_.observe(queue_.size(), inflight_)) {
+    ++stats_.policy_switches;
+    rt_.set_scheduler_policy(governor_.current());
+  }
+}
+
+}  // namespace dopar::svc

@@ -1,0 +1,237 @@
+#pragma once
+// svc::Service — a multi-tenant serving front-end over a dopar::Runtime.
+//
+// The library's oblivious sort is priced for throughput, not per-request
+// latency: at serving-size inputs (hundreds to thousands of keys) the
+// fixed cost of the Theorem 3.2 pipeline dominates, so submitting each
+// small request as its own pipeline wastes almost all of the machine. The
+// Service closes that gap with three cooperating mechanisms:
+//
+//  1. COALESCER. Accepted requests wait in a bounded queue for a short
+//     window (Options::window) or until a size/count threshold fires;
+//     compatible queued requests are then merged into ONE oblivious sort
+//     over slot-tagged composite keys (svc/coalesce.hpp) and split back
+//     per request. The batch runs on the Runtime's comparator-network
+//     sorter layer (Runtime::backend_sort) — deterministic and data-
+//     oblivious, and far cheaper than one full pipeline per request.
+//     Requests that cannot ride a batch (keys >= 2^48, oversize) run solo
+//     on the canonical full pipeline. Either way a request's output is
+//     BIT-IDENTICAL to what it would get served alone: the sorted key
+//     sequence is the input multiset, and the tie order is normalized
+//     from a per-request content-derived seed stream (normalize_ties) —
+//     provable by replaying a request solo and comparing bytes, or by
+//     comparing instrumented trace digests across runs.
+//
+//  2. ADMISSION CONTROL + BACKPRESSURE. The submit queue is bounded
+//     (Options::queue_limit). try_sort() rejects immediately when full;
+//     sort()/sort_records() block for Options::submit_timeout (forever if
+//     unset) and throw SubmitTimeout on expiry. Submitting to a stopped
+//     Service throws std::logic_error.
+//
+//  3. ADAPTIVE POLICY GOVERNOR. After every dispatch and completion the
+//     Service re-decides the Runtime's scheduler policy (Exclusive <->
+//     Sliced <-> Stealing) from queue depth and in-flight batch count
+//     (svc/governor.hpp), via Runtime::set_scheduler_policy.
+//
+// Batches execute as Runtime::submit jobs, so batch concurrency is capped
+// by Runtime::Builder::max_job_workers and Options::max_inflight_batches.
+// Destruction drains: queued requests are dispatched (ignoring the
+// window), in-flight batches complete, then the dispatcher joins — every
+// returned Future is completed. The Service must outlive its futures'
+// consumers' submissions, and the Runtime must outlive the Service.
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/future.hpp"
+#include "core/runtime.hpp"
+#include "svc/coalesce.hpp"
+#include "svc/governor.hpp"
+
+namespace dopar::svc {
+
+/// Thrown by the blocking submit paths when Options::submit_timeout
+/// expires before the queue has room.
+class SubmitTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Options {
+  /// How long the oldest queued request may wait for batch-mates before
+  /// the coalescer dispatches regardless.
+  std::chrono::microseconds window{500};
+  /// Requests per coalesced batch (clamped to kMaxBatchSlots = 65536, the
+  /// slot-tag capacity).
+  size_t max_batch_requests = 64;
+  /// Total rows per coalesced batch; also the per-request coalescibility
+  /// bound (larger requests run solo).
+  size_t max_batch_elems = size_t{1} << 16;
+  /// Bound on queued (accepted, not yet dispatched) requests.
+  size_t queue_limit = 1024;
+  /// Batches allowed in flight at once (each is one submitted job).
+  size_t max_inflight_batches = 2;
+  /// Blocking-submit patience when the queue is full; unset = wait
+  /// forever.
+  std::optional<std::chrono::milliseconds> submit_timeout{};
+  /// Seed of the per-request tie-normalization streams. Two Services with
+  /// the same seed serve identical outputs for identical requests.
+  uint64_t seed = 0x5e4c'5eedULL;
+  GovernorConfig governor{};
+  /// Sorter backend for coalesced batches ("" = the Runtime's configured
+  /// backend). Must name a registered backend; comparator networks are
+  /// the intended choices.
+  std::string batch_backend{};
+};
+
+class Service {
+ public:
+  /// Monotonic counters, snapshot via stats().
+  struct Stats {
+    uint64_t accepted = 0;   ///< requests admitted to the queue
+    uint64_t rejected = 0;   ///< try_sort refusals (queue full)
+    uint64_t timed_out = 0;  ///< blocking submits that hit submit_timeout
+    uint64_t batches = 0;    ///< dispatched batches (solo included)
+    uint64_t solo_batches = 0;       ///< batches of exactly one request
+    uint64_t coalesced_requests = 0; ///< requests served in >= 2-batches
+    uint64_t solo_requests = 0;      ///< requests served alone
+    /// batch_size_hist[b] counts batches of 2^b..2^(b+1)-1 requests
+    /// (b = 16 also absorbs anything larger).
+    std::array<uint64_t, 17> batch_size_hist{};
+    size_t queue_depth_high_water = 0;
+    size_t inflight_high_water = 0;
+    uint64_t policy_switches = 0;  ///< governor-applied policy changes
+  };
+
+  explicit Service(Runtime& rt, Options opts = {});
+  /// Stops intake, dispatches everything still queued (ignoring the
+  /// window), waits for in-flight batches, joins the dispatcher.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Submit a sort request: the future yields `keys` sorted ascending.
+  /// Blocks while the queue is full (up to Options::submit_timeout, then
+  /// throws SubmitTimeout). Keys must be < 2^64-1 (the filler sentinel);
+  /// throws std::invalid_argument otherwise, and std::logic_error after
+  /// the Service has stopped.
+  Future<std::vector<uint64_t>> sort(uint64_t tenant,
+                                     std::vector<uint64_t> keys);
+
+  /// Non-blocking submit: std::nullopt (and a `rejected` tick) when the
+  /// queue is full.
+  std::optional<Future<std::vector<uint64_t>>> try_sort(
+      uint64_t tenant, std::vector<uint64_t> keys);
+
+  /// Submit arbitrary records sorted by an extracted integer key — the
+  /// serving analogue of Runtime::sort_records. Same blocking/throwing
+  /// behavior as sort(). Tie order follows the request's normalization
+  /// stream (deterministic, not stable).
+  template <class Rec, class KeyFn>
+  Future<std::vector<Rec>> sort_records(uint64_t tenant,
+                                        std::vector<Rec> recs,
+                                        KeyFn key_of) {
+    std::vector<uint64_t> keys(recs.size());
+    for (size_t i = 0; i < recs.size(); ++i) {
+      keys[i] = static_cast<uint64_t>(key_of(recs[i]));
+    }
+    auto prom = std::make_shared<std::promise<std::vector<Rec>>>();
+    auto held = std::make_shared<std::vector<Rec>>(std::move(recs));
+    Future<std::vector<Rec>> fut(prom->get_future(), nullptr);
+    const Admit a = enqueue(
+        tenant, std::move(keys),
+        [prom, held](std::vector<uint64_t>&&, std::vector<uint32_t>&& order,
+                     std::exception_ptr err) {
+          if (err) {
+            prom->set_exception(err);
+            return;
+          }
+          std::vector<Rec> out;
+          out.reserve(held->size());
+          for (uint32_t idx : order) out.push_back(std::move((*held)[idx]));
+          prom->set_value(std::move(out));
+        },
+        /*block=*/true);
+    throw_on(a);
+    return fut;
+  }
+
+  /// Dispatch everything currently queued without waiting for the window
+  /// (returns immediately; await the futures for completion).
+  void flush();
+
+  Stats stats() const;
+  /// Requests accepted but not yet carved into a batch.
+  size_t queue_depth() const;
+  const Options& options() const { return opts_; }
+
+ private:
+  /// Completion callback of one request: (sorted keys, original-index
+  /// permutation, error). Exactly one of {results, error} is meaningful.
+  using FinishFn = std::function<void(
+      std::vector<uint64_t>&&, std::vector<uint32_t>&&, std::exception_ptr)>;
+
+  enum class Admit { kOk, kFull, kTimeout };
+
+  struct PendingReq {
+    uint64_t ticket = 0;
+    uint64_t tenant = 0;
+    std::vector<uint64_t> keys;
+    uint64_t stream = 0;  ///< content-derived tie-normalization stream
+    bool coalescible = false;
+    std::chrono::steady_clock::time_point enqueued{};
+    FinishFn finish;
+  };
+
+  struct Batch {
+    std::vector<PendingReq> reqs;
+    bool coalesced = false;  ///< reqs.size() >= 2 (one composite sort)
+    size_t done = 0;         ///< requests already finished (error scoping)
+  };
+
+  Admit enqueue(uint64_t tenant, std::vector<uint64_t> keys, FinishFn finish,
+                bool block);
+  static void throw_on(Admit a);
+  void dispatcher_loop();
+  bool ripe_locked() const;
+  std::shared_ptr<Batch> carve_locked();
+  void run_batch(Batch& b);
+  void run_coalesced(Batch& b);
+  void run_solo(Batch& b);
+  void complete(Batch& b, PendingReq& r, std::vector<uint64_t> keys,
+                std::vector<uint32_t> order);
+  void governor_observe_locked();
+
+  Runtime& rt_;
+  Options opts_;
+  Governor governor_;
+
+  mutable std::mutex m_;
+  std::condition_variable cv_work_;   ///< dispatcher: work/capacity/stop
+  std::condition_variable cv_space_;  ///< submitters: queue has room
+  std::deque<PendingReq> queue_;
+  size_t queued_elems_ = 0;
+  size_t inflight_ = 0;
+  bool stop_ = false;
+  bool flush_ = false;
+  uint64_t next_ticket_ = 0;
+  Stats stats_;
+  std::thread dispatcher_;  ///< last member: started last, joined in dtor
+};
+
+}  // namespace dopar::svc
