@@ -32,7 +32,8 @@ REGRESSION_TOLERANCE = 0.20
 METRICS = ("work", "span", "misses")
 # Sections whose rows are wall-clock timings (bench::record_wall): noisy
 # and machine-dependent by nature, so report-only.
-WALL_CLOCK_SECTIONS = {"pipelines", "sort_wall", "oswap", "service"}
+WALL_CLOCK_SECTIONS = {"pipelines", "sort_wall", "oswap", "service",
+                       "join_wall"}
 
 
 def load_rows(path):

@@ -55,6 +55,7 @@
 // matter how the scheduler interleaves the pipelines or how many threads
 // execute them.
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
@@ -83,8 +84,12 @@
 #include "core/params.hpp"
 #include "forkjoin/pool.hpp"
 #include "obl/aggregate.hpp"
+#include "obl/compact.hpp"
 #include "obl/elem.hpp"
+#include "obl/kernel/kernel.hpp"
+#include "obl/propagate.hpp"
 #include "obl/sendrecv.hpp"
+#include "rel/rel.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/session.hpp"
 #include "sim/tracked.hpp"
@@ -313,6 +318,41 @@ class Runtime {
     with_env([&] { obl::aggregate_suffix(a, op); });
   }
 
+  /// Stable oblivious compaction: records flagged kFiller move to the
+  /// back, everything else to the front with input order preserved — the
+  /// schedule depends only on |a|, never on which records are live. Any
+  /// size is accepted (network sorters need a power of two, so a
+  /// non-power-of-two input runs through a filler-padded scratch buffer).
+  /// Clobbers Elem::extra (the engine's stability rank lives there).
+  void compact(const slice<obl::Elem>& a, const SortOptions& opts = {}) {
+    const auto sorter = resolve(opts);
+    with_env([&] {
+      const size_t n = a.size();
+      if (n <= 1) return;
+      if (util::is_pow2(n)) {
+        obl::compact_oblivious(a, *sorter);
+        return;
+      }
+      const size_t padded = util::pow2_ceil(n);
+      vec<obl::Elem> tmp(padded);
+      const slice<obl::Elem> t = tmp.s();
+      obl::kernel::copy_range(t, 0, a, 0, n, obl::kernel::Tick::PerElem);
+      obl::kernel::fill_range(t, n, padded - n, obl::Elem::filler(),
+                              obl::kernel::Tick::PerElem);
+      // Scratch fillers rank behind the input's own fillers, so the first
+      // n records are exactly the compacted input.
+      obl::compact_oblivious(t, *sorter);
+      obl::kernel::copy_range(a, 0, t, 0, n, obl::kernel::Tick::PerElem);
+    });
+  }
+
+  /// Oblivious propagation in a key-sorted array: every record inherits
+  /// (payload, aux) from the leftmost record of its key-group. Fixed
+  /// access pattern (one segmented scan); any size.
+  void propagate(const slice<obl::Elem>& a) {
+    with_env([&] { obl::propagate_leftmost(a); });
+  }
+
   // ---- generic record sorting -----------------------------------------
 
   /// Obliviously sort arbitrary records by an extracted integer key,
@@ -359,6 +399,81 @@ class Runtime {
     tmp.reserve(n);
     for (size_t i = 0; i < n; ++i) tmp.push_back(std::move(recs[order[i]]));
     for (size_t i = 0; i < n; ++i) recs[i] = std::move(tmp[i]);
+  }
+
+  // ---- relational operators (rel/rel.hpp) ------------------------------
+
+  /// Oblivious equi-join: every (l, r) with key_l(l) == key_r(r), grouped
+  /// by left row in input order, each group's right rows ascending by
+  /// (key, input index). Keys must be < rel::kKeyLimit (2^62). The
+  /// schedule is a function of (|L|, |R|, opts.output_bound) only; the
+  /// returned rows (declassified output) reveal the true match count.
+  template <class RecL, class KeyL, class RecR, class KeyR>
+  rel::JoinResult<RecL, RecR> equi_join(std::span<const RecL> left,
+                                        KeyL&& key_l,
+                                        std::span<const RecR> right,
+                                        KeyR&& key_r,
+                                        const rel::JoinOptions& opts = {}) {
+    return join_impl<RecL, RecR>(left, key_l, right, key_r, false, 0, opts);
+  }
+
+  /// Oblivious band join: every (l, r) with |key_l(l) - key_r(r)| <= band.
+  /// Same contract and output order as equi_join (band = 0 degenerates to
+  /// it exactly).
+  template <class RecL, class KeyL, class RecR, class KeyR>
+  rel::JoinResult<RecL, RecR> band_join(std::span<const RecL> left,
+                                        KeyL&& key_l,
+                                        std::span<const RecR> right,
+                                        KeyR&& key_r, uint64_t band,
+                                        const rel::JoinOptions& opts = {}) {
+    return join_impl<RecL, RecR>(left, key_l, right, key_r, true, band, opts);
+  }
+
+  /// Oblivious group-by aggregation: one GroupRow per distinct key_of(rec)
+  /// value (ascending by key), with val_of(rec) folded under `agg` and the
+  /// group size alongside. Keys < rel::kKeyLimit; Sum wraps mod 2^64. The
+  /// schedule depends only on (|recs|, opts.group_bound); groups past the
+  /// bound are truncated (GroupByResult::truncated()).
+  template <class Rec, class KeyFn, class ValFn>
+  rel::GroupByResult group_by_aggregate(std::span<const Rec> recs,
+                                        KeyFn&& key_of, ValFn&& val_of,
+                                        rel::Agg agg,
+                                        const rel::GroupByOptions& opts = {}) {
+    static_assert(
+        std::is_convertible_v<std::invoke_result_t<KeyFn&, const Rec&>,
+                              uint64_t>,
+        "group_by_aggregate: key_of(rec) must yield an unsigned 64-bit key");
+    static_assert(
+        std::is_convertible_v<std::invoke_result_t<ValFn&, const Rec&>,
+                              uint64_t>,
+        "group_by_aggregate: val_of(rec) must yield an unsigned 64-bit "
+        "value");
+    const size_t n = recs.size();
+    const auto sorter = resolve(opts.sort);
+    const size_t bound = opts.group_bound == 0 ? n : opts.group_bound;
+    uint64_t total = 0;
+    std::vector<obl::Elem> frame(bound);
+    with_env([&] {
+      vec<obl::Elem> inv(n), outv(bound);
+      obl::kernel::generate_range(
+          inv.s(), 0, n, obl::kernel::Tick::PerElem,
+          [&](obl::Elem& e, size_t i) {
+            e.key = static_cast<uint64_t>(key_of(recs[i]));
+            e.payload = static_cast<uint64_t>(val_of(recs[i]));
+          });
+      total = rel::detail::group_by_engine(inv.s(), agg, outv.s(), *sorter);
+      // Fixed-pattern full readout; the data-dependent strip happens
+      // outside the measured environment (client side).
+      std::copy_n(outv.s().data(), bound, frame.data());
+    });
+    rel::GroupByResult res;
+    res.groups_total = total;
+    res.groups.reserve(std::min<uint64_t>(total, bound));
+    for (const obl::Elem& e : frame) {
+      if (e.flags & obl::Elem::kFiller) continue;
+      res.groups.push_back(rel::GroupRow{e.key, e.payload, e.aux});
+    }
+    return res;
   }
 
   // ---- Section 5 applications -----------------------------------------
@@ -572,6 +687,67 @@ class Runtime {
 
  private:
   friend class Builder;
+
+  /// Shared equi/band join wrapper: Elem tables in, engine inside one
+  /// with_env, fixed-pattern readout, client-side strip.
+  template <class RecL, class RecR, class KeyL, class KeyR>
+  rel::JoinResult<RecL, RecR> join_impl(std::span<const RecL> left,
+                                        KeyL& key_l,
+                                        std::span<const RecR> right,
+                                        KeyR& key_r, bool banded,
+                                        uint64_t band,
+                                        const rel::JoinOptions& opts) {
+    static_assert(
+        std::is_convertible_v<std::invoke_result_t<KeyL&, const RecL&>,
+                              uint64_t>,
+        "join: key_l(rec) must yield an unsigned 64-bit join key");
+    static_assert(
+        std::is_convertible_v<std::invoke_result_t<KeyR&, const RecR&>,
+                              uint64_t>,
+        "join: key_r(rec) must yield an unsigned 64-bit join key");
+    constexpr uint64_t kMaxRows = uint64_t{1} << 32;  // send-receive cap
+    const size_t nl = left.size();
+    const size_t nr = right.size();
+    if (nl >= kMaxRows || nr >= kMaxRows) {
+      throw std::invalid_argument("join: table sizes must be < 2^32");
+    }
+    const auto sorter = resolve(opts.sort);
+    const size_t bound =
+        opts.output_bound == 0 ? nl * nr : opts.output_bound;
+    if (bound >= kMaxRows) {
+      throw std::invalid_argument(
+          "join: output bound must be < 2^32 (pass JoinOptions::"
+          "output_bound below the default |L|*|R|)");
+    }
+    uint64_t matched = 0;
+    std::vector<obl::Elem> frame(bound);
+    with_env([&] {
+      vec<obl::Elem> lv(nl), rv(nr), outv(bound);
+      obl::kernel::generate_range(
+          lv.s(), 0, nl, obl::kernel::Tick::PerElem,
+          [&](obl::Elem& e, size_t i) {
+            e.key = static_cast<uint64_t>(key_l(left[i]));
+            e.payload = i;
+          });
+      obl::kernel::generate_range(
+          rv.s(), 0, nr, obl::kernel::Tick::PerElem,
+          [&](obl::Elem& e, size_t i) {
+            e.key = static_cast<uint64_t>(key_r(right[i]));
+            e.payload = i;
+          });
+      matched = rel::detail::join_engine(lv.s(), rv.s(), banded, band,
+                                         outv.s(), *sorter);
+      std::copy_n(outv.s().data(), bound, frame.data());
+    });
+    rel::JoinResult<RecL, RecR> res;
+    res.matched = matched;
+    res.rows.reserve(std::min<uint64_t>(matched, bound));
+    for (const obl::Elem& e : frame) {
+      if (e.flags & obl::Elem::kFiller) continue;
+      res.rows.emplace_back(left[e.payload], right[e.aux]);
+    }
+    return res;
+  }
 
   explicit Runtime(const Builder& b)
       : seed_(b.seed_), params_(b.params_), variant_(b.variant_) {

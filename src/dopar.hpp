@@ -20,6 +20,7 @@
 #include "core/backend.hpp"
 #include "core/future.hpp"
 #include "core/runtime.hpp"
+#include "rel/rel.hpp"
 #include "svc/service.hpp"
 
 namespace dopar {
@@ -37,6 +38,14 @@ using apps::Edge;
 using apps::ExprTree;
 using apps::GEdge;
 using apps::TreeFunctions;
+// Relational operators (rel/rel.hpp): the vocabulary of
+// Runtime::equi_join / band_join / group_by_aggregate.
+using rel::Agg;
+using rel::GroupByOptions;
+using rel::GroupByResult;
+using rel::GroupRow;
+using rel::JoinOptions;
+using rel::JoinResult;
 // Serving layer (svc/service.hpp): dopar::Service batches many small sort
 // requests over one Runtime; its knobs stay namespaced (dopar::svc::Options,
 // dopar::svc::GovernorConfig, dopar::svc::SubmitTimeout).

@@ -1,0 +1,404 @@
+// Oblivious relational-operator engines (see rel/rel.hpp for the plan and
+// the obliviousness/size contracts).
+//
+// Everything here is a composition of the library's fixed-pattern building
+// blocks: backend sorts (canonical key sorts run the full Theorem 3.2
+// pipeline on the "osort"/"spms" backends; scratch orders run the
+// comparator network), segmented scans (obl::aggregate_suffix,
+// obl::propagate_leftmost), plain prefix scans, stable oblivious
+// compaction, and oblivious send-receive. The per-pass scratch sizes are
+// functions of (|L|, |R|, bound) alone, so the step sequence — and with a
+// network backend the entire comparator/access schedule — is independent
+// of table contents. Secret-dependent *values* are computed branchlessly
+// (obl::oselect) throughout; public parameters (sizes, band mode, the
+// aggregation operator) may branch freely.
+
+#include "rel/rel.hpp"
+
+#include <cassert>
+
+#include "forkjoin/api.hpp"
+#include "obl/aggregate.hpp"
+#include "obl/compact.hpp"
+#include "obl/elem.hpp"
+#include "obl/kernel/kernel.hpp"
+#include "obl/oswap.hpp"
+#include "obl/propagate.hpp"
+#include "obl/scan.hpp"
+#include "obl/sendrecv.hpp"
+#include "sim/tracked.hpp"
+#include "util/bits.hpp"
+
+namespace dopar::rel::detail {
+
+namespace kernel = obl::kernel;
+
+namespace {
+
+using obl::Elem;
+
+/// Scratch sink: records re-keyed here are ignored by every later pass.
+/// Coincides with the filler sentinel on purpose — the full-sort backends
+/// document that sentinel-keyed records sort after every real key.
+constexpr uint64_t kSinkKey = ~uint64_t{0};
+
+// Union-pass side tags (Elem::extra). At equal keys the sort places
+// lo-queries before the right rows and hi-queries after them, so a plain
+// prefix count of right rows yields, at a lo-query, the number of right
+// keys strictly below it and, at a hi-query, the number at or below it.
+constexpr uint32_t kTagLo = 0;
+constexpr uint32_t kTagRight = 1;
+constexpr uint32_t kTagHi = 2;
+
+/// Branchless lexicographic (key, tag, input index) order for the union
+/// pass. Total on every record the pass builds (indexes are unique per
+/// (key, tag) side; fillers compare equal and are interchangeable).
+struct ByKeyTagIdx {
+  bool operator()(const Elem& a, const Elem& b) const {
+    const bool klt = a.key < b.key;
+    const bool keq = a.key == b.key;
+    const bool tlt = a.extra < b.extra;
+    const bool teq = a.extra == b.extra;
+    const bool ilt = a.aux < b.aux;
+    return klt | (keq & (tlt | (teq & ilt)));
+  }
+};
+
+/// Branchless (key, input index) order: ranks the right table with ties
+/// broken by input position, making the per-left match order total.
+struct ByKeyIdx {
+  bool operator()(const Elem& a, const Elem& b) const {
+    const bool klt = a.key < b.key;
+    const bool keq = a.key == b.key;
+    const bool ilt = a.aux < b.aux;
+    return klt | (keq & ilt);
+  }
+};
+
+struct Add {
+  uint64_t operator()(uint64_t a, uint64_t b) const { return a + b; }
+};
+struct MinOp {
+  uint64_t operator()(uint64_t a, uint64_t b) const {
+    return obl::oselect<uint64_t>(b < a, b, a);
+  }
+};
+struct MaxOp {
+  uint64_t operator()(uint64_t a, uint64_t b) const {
+    return obl::oselect<uint64_t>(a < b, b, a);
+  }
+};
+
+/// MULTIPLICITY pass: for every left row i (in input order) compute
+/// cnt[i] = number of matching right rows and start[i] = rank of its first
+/// match in (key, index)-sorted right order. One union sort + fixed scans;
+/// the equi path takes the bottom-up segmented aggregation, the band path
+/// two rank queries per left row.
+void multiplicity_pass(const slice<Elem>& left, const slice<Elem>& right,
+                       bool banded, uint64_t band,
+                       const slice<uint64_t>& cnt,
+                       const slice<uint64_t>& start,
+                       const SorterBackend& sorter) {
+  const size_t nl = left.size();
+  const size_t nr = right.size();
+  const size_t queries = banded ? 2 * nl : nl;
+  const size_t pu = util::pow2_ceil(queries + nr);
+  const uint64_t band_c =
+      obl::oselect<uint64_t>(band > kKeyLimit, kKeyLimit, band);
+
+  vec<Elem> unionv(pu);
+  const slice<Elem> u = unionv.s();
+  kernel::generate_range(
+      u, 0, pu, kernel::Tick::PerElem, [&](Elem& e, size_t i) {
+        if (i < nl) {  // lo-query for left row i (the only query kind in
+                       // equi mode: it carries both scans' results)
+          const Elem l = left[i];
+          assert(l.key < kKeyLimit && "rel: join keys must be < 2^62");
+          const uint64_t lo = obl::oselect<uint64_t>(band_c > l.key, 0,
+                                                     l.key - band_c);
+          e.key = banded ? lo : l.key;
+          e.extra = kTagLo;
+          e.aux = i;
+          e.payload = 0;
+        } else if (banded && i < 2 * nl) {  // hi-query for left row i - nl
+          const Elem l = left[i - nl];
+          const uint64_t hi = l.key + band_c;  // < 2^63: no overflow
+          e.key = obl::oselect<uint64_t>(hi > kKeyLimit, kKeyLimit, hi);
+          e.extra = kTagHi;
+          e.aux = i - nl;
+          e.payload = 0;
+        } else if (i < queries + nr) {  // right row
+          const Elem r = right[i - queries];
+          assert(r.key < kKeyLimit && "rel: join keys must be < 2^62");
+          e.key = r.key;
+          e.extra = kTagRight;
+          e.aux = i - queries;
+          e.payload = 1;
+        } else {
+          e = Elem::filler();
+        }
+      });
+  sorter.sort(u, erase_less<Elem>(ByKeyTagIdx{}));
+
+  // Global rank of each position: inclusive prefix count of right rows.
+  // At a query (which contributes 0) inclusive == exclusive.
+  vec<uint64_t> rankv(pu);
+  const slice<uint64_t> rank = rankv.s();
+  kernel::generate_range(rank, 0, pu, kernel::Tick::PerElem,
+                         [&](uint64_t& v, size_t i) {
+                           v = u[i].extra == kTagRight ? 1u : 0u;
+                         });
+  obl::scan_inclusive(rank, Add{});
+
+  if (!banded) {
+    // Bottom-up multiplicity: one segmented suffix aggregation per the
+    // union's key-groups. Queries precede the right rows of their group,
+    // so a query's suffix sum is exactly its match count.
+    obl::aggregate_suffix(u, Add{});
+  }
+
+  // Re-key each query to its left-row index (hi-queries to odd slots) and
+  // absorb the rank; everything else sinks. One canonical sort then lands
+  // the per-row results at fixed positions.
+  kernel::transform_range(
+      u, 0, pu, kernel::Tick::PerElem, [&](Elem& e, size_t i) {
+        const bool filler = (e.flags & Elem::kFiller) != 0;
+        const bool is_lo = (e.extra == kTagLo) & !filler;
+        const bool is_hi = (e.extra == kTagHi) & !filler;
+        if (banded) {
+          const uint64_t slot =
+              obl::oselect<uint64_t>(is_hi, (e.aux << 1) | 1, e.aux << 1);
+          e.key = obl::oselect<uint64_t>(is_lo | is_hi, slot, kSinkKey);
+          e.payload = rank[i];
+        } else {
+          e.key = obl::oselect<uint64_t>(is_lo, e.aux, kSinkKey);
+          e.aux = rank[i];  // payload already holds the aggregated count
+        }
+      });
+  sorter.sort(u);
+
+  kernel::for_each(0, nl, [&](size_t i) {
+    sim::tick(1);
+    if (banded) {
+      const uint64_t lo_rank = u[2 * i].payload;
+      const uint64_t hi_rank = u[2 * i + 1].payload;
+      cnt[i] = hi_rank - lo_rank;
+      start[i] = lo_rank;
+    } else {
+      cnt[i] = u[i].payload;
+      start[i] = u[i].aux;
+    }
+  });
+}
+
+}  // namespace
+
+uint64_t join_engine(const slice<Elem>& left, const slice<Elem>& right,
+                     bool banded, uint64_t band, const slice<Elem>& out,
+                     const SorterBackend& sorter) {
+  const size_t nl = left.size();
+  const size_t nr = right.size();
+  const size_t bound = out.size();
+  if (nl == 0 || nr == 0) {
+    kernel::fill_range(out, 0, bound, Elem::filler(), kernel::Tick::None);
+    return 0;
+  }
+
+  // Rank the right table by (key, input index): position p of the sorted
+  // table is the p-th match candidate the expansion will request.
+  const size_t pr = util::pow2_ceil(nr);
+  vec<Elem> rightsv(pr);
+  const slice<Elem> rs = rightsv.s();
+  kernel::generate_range(rs, 0, pr, kernel::Tick::PerElem,
+                         [&](Elem& e, size_t i) {
+                           if (i < nr) {
+                             e = right[i];
+                             e.aux = i;
+                           } else {
+                             e = Elem::filler();
+                           }
+                         });
+  sorter.sort(rs, erase_less<Elem>(ByKeyIdx{}));
+
+  // Phase 1 — per-left-row match count and first-match rank.
+  vec<uint64_t> cntv(nl), startv(nl);
+  multiplicity_pass(left, right, banded, band, cntv.s(), startv.s(), sorter);
+
+  // Offsets: cnt prefix-summed in left input order fixes each left row's
+  // first output slot; the total is the true output size.
+  vec<uint64_t> offv(nl);
+  const uint64_t matched = obl::prefix_sum_exclusive(
+      cntv.s(), offv.s(), [](uint64_t c) { return c; });
+
+  if (bound == 0) return matched;
+
+  // Phase 2 — DISTRIBUTE-EXPAND. Frame = left rows (sources), one
+  // terminator closing the live region, `bound` output placeholders, and
+  // pow2 filler padding. One sort interleaves each source directly before
+  // the placeholders of its run; a prefix scan numbers the runs; oblivious
+  // propagation copies every source onto its run's placeholders; oblivious
+  // compaction drops the scaffolding, leaving the expanded left table.
+  //
+  // Each slot must learn its left row id and the rank of the right row it
+  // pairs with: slot j of left row i pairs with rank start[i] + (j -
+  // off[i]), so propagating delta = start[i] - off[i] (mod 2^64) lets the
+  // slot recover its request as j + delta. The terminator's delta points
+  // the padding slots past the right table (rank >= |R| -> no match).
+  const size_t pd = util::pow2_ceil(nl + 1 + bound);
+  vec<Elem> framev(pd);
+  const slice<Elem> frame = framev.s();
+  kernel::generate_range(
+      frame, 0, pd, kernel::Tick::PerElem, [&](Elem& e, size_t i) {
+        if (i < nl) {  // source: left row i at its first output slot
+          const bool live = cntv[i] != 0;
+          e.key = obl::oselect<uint64_t>(live, offv[i] << 1, kSinkKey);
+          e.payload = left[i].payload;
+          e.aux = startv[i] - offv[i];
+          e.flags = Elem::kTemp;
+        } else if (i == nl) {  // terminator: pads every slot >= matched
+          e.key = matched << 1;
+          e.payload = kNoRow;
+          e.aux = nr - matched;
+          e.flags = Elem::kTemp;
+        } else if (i < nl + 1 + bound) {  // output placeholder j
+          const uint64_t j = i - nl - 1;
+          e.key = (j << 1) | 1;
+          e.payload = kNoRow;
+          e.aux = nr;
+          e.flags = Elem::kDest;
+        } else {
+          e = Elem::filler();
+        }
+      });
+  sorter.sort(frame);
+
+  // Number the runs: run id = inclusive count of sources up to here, so a
+  // source and the placeholders following it share one id.
+  vec<uint64_t> runv(pd);
+  const slice<uint64_t> run = runv.s();
+  kernel::generate_range(run, 0, pd, kernel::Tick::PerElem,
+                         [&](uint64_t& v, size_t i) {
+                           v = (frame[i].flags & Elem::kTemp) ? 1u : 0u;
+                         });
+  obl::scan_inclusive(run, Add{});
+  kernel::transform_range(frame, 0, pd, kernel::Tick::PerElem,
+                          [&](Elem& e, size_t i) { e.key = run[i]; });
+  obl::propagate_leftmost(frame);
+  kernel::transform_range(
+      frame, 0, pd, kernel::Tick::PerElem, [&](Elem& e, size_t) {
+        const bool keep = (e.flags & Elem::kDest) != 0;
+        e.flags |= obl::oselect<uint32_t>(keep, 0, Elem::kFiller);
+      });
+  obl::compact_oblivious(frame, sorter);
+  // frame[0..bound): slot j holds (payload = left row id or kNoRow,
+  // aux = delta), in output order.
+
+  // Phase 3 — ALIGN-CONCAT: route the rank-keyed right rows to the slots
+  // requesting them with one oblivious send-receive.
+  vec<Elem> srcv(nr), dstv(bound), resv(bound);
+  const slice<Elem> src = srcv.s();
+  const slice<Elem> dst = dstv.s();
+  kernel::generate_range(src, 0, nr, kernel::Tick::PerElem,
+                         [&](Elem& e, size_t p) {
+                           e.key = p;
+                           e.payload = rs[p].payload;
+                         });
+  kernel::generate_range(dst, 0, bound, kernel::Tick::PerElem,
+                         [&](Elem& e, size_t j) {
+                           e.key = j + frame[j].aux;  // slot's request rank
+                           assert(e.key < (uint64_t{1} << 63));
+                         });
+  obl::detail::send_receive(src, dst, resv.s(), sorter);
+
+  kernel::generate_range(
+      out, 0, bound, kernel::Tick::PerElem, [&](Elem& e, size_t j) {
+        const Elem slot = frame[j];
+        const Elem got = resv.s()[j];
+        const bool live =
+            ((got.flags & Elem::kNotFound) == 0) & (slot.payload != kNoRow);
+        e.key = j;
+        e.payload = slot.payload;
+        e.aux = got.payload;
+        e.flags = obl::oselect<uint32_t>(live, 0, Elem::kFiller);
+      });
+  return matched;
+}
+
+uint64_t group_by_engine(const slice<Elem>& in, Agg agg,
+                         const slice<Elem>& out,
+                         const SorterBackend& sorter) {
+  const size_t n = in.size();
+  const size_t bound = out.size();
+  if (n == 0) {
+    kernel::fill_range(out, 0, bound, Elem::filler(), kernel::Tick::None);
+    return 0;
+  }
+
+  const size_t pg = util::pow2_ceil(n);
+  vec<Elem> gvv(pg);
+  const slice<Elem> gv = gvv.s();
+  kernel::generate_range(gv, 0, pg, kernel::Tick::PerElem,
+                         [&](Elem& e, size_t i) {
+                           if (i < n) {
+                             e = in[i];
+                             assert(e.key < kKeyLimit &&
+                                    "rel: group keys must be < 2^62");
+                             e.aux = i;
+                           } else {
+                             e = Elem::filler();
+                           }
+                         });
+  sorter.sort(gv);
+
+  // Group sizes: a parallel copy with payload 1 per live row, aggregated
+  // by the same key-groups (fillers share the sentinel group, summing 0).
+  vec<Elem> cntv(pg);
+  const slice<Elem> cnt = cntv.s();
+  kernel::generate_range(cnt, 0, pg, kernel::Tick::PerElem,
+                         [&](Elem& e, size_t i) {
+                           e = gv[i];
+                           e.payload = (e.flags & Elem::kFiller) ? 0u : 1u;
+                         });
+  obl::aggregate_suffix(cnt, Add{});
+
+  // Aggregate the values (suffix fold from each group's head covers the
+  // whole group). Count needs no value pass. Public branch: the operator
+  // is part of the query, not the data.
+  switch (agg) {
+    case Agg::Sum: obl::aggregate_suffix(gv, Add{}); break;
+    case Agg::Min: obl::aggregate_suffix(gv, MinOp{}); break;
+    case Agg::Max: obl::aggregate_suffix(gv, MaxOp{}); break;
+    case Agg::Count: break;
+  }
+
+  // Heads carry their group's full aggregate; everything else is dropped.
+  vec<uint64_t> headv(pg);
+  const slice<uint64_t> head = headv.s();
+  kernel::generate_range(
+      head, 0, pg, kernel::Tick::PerElem, [&](uint64_t& v, size_t i) {
+        const Elem e = gv[i];
+        const bool h = !(e.flags & Elem::kFiller) &&
+                       ((i == 0) || (gv[i - 1].key != e.key));
+        v = h ? 1u : 0u;
+      });
+  vec<uint64_t> scratchv(pg);
+  const uint64_t groups = obl::prefix_sum_exclusive(
+      head, scratchv.s(), [](uint64_t h) { return h; });
+
+  kernel::transform_range(
+      gv, 0, pg, kernel::Tick::PerElem, [&](Elem& e, size_t i) {
+        const uint64_t c = cnt[i].payload;
+        if (agg == Agg::Count) e.payload = c;
+        e.aux = c;
+        e.flags |= obl::oselect<uint32_t>(head[i] != 0, 0, Elem::kFiller);
+      });
+  obl::compact_oblivious(gv, sorter);
+
+  kernel::generate_range(out, 0, bound, kernel::Tick::PerElem,
+                         [&](Elem& e, size_t g) {
+                           e = g < pg ? gv[g] : Elem::filler();
+                         });
+  return groups;
+}
+
+}  // namespace dopar::rel::detail

@@ -1,0 +1,148 @@
+#pragma once
+// dopar::rel — oblivious relational operators over the sort core.
+//
+// The paper's primitives (oblivious sort, compaction, propagation,
+// aggregation, send-receive) are exactly the toolkit the oblivious-database
+// literature composes into relational operators (Krastnikov et al.,
+// "Efficient Oblivious Database Joins", PVLDB 2020). This layer builds
+// three of them:
+//
+//   * equi-join      — L ⋈ R on key equality,
+//   * band join      — L ⋈ R on |l.key - r.key| <= band,
+//   * group-by       — per-key Sum / Count / Min / Max aggregation,
+//
+// all as compositions of the existing engines, so every registered sorter
+// backend, scheduler policy and the SIMD kernel layer apply automatically.
+// The public entry points are the Runtime methods (core/runtime.hpp):
+//
+//   auto res = rt.equi_join(std::span(orders), key_of_order,
+//                           std::span(items), key_of_item,
+//                           {.output_bound = 4096});
+//   for (auto& [o, it] : res.rows) ...
+//
+// Join recipe (the equi-join is the band = 0 specialization of the same
+// four-phase plan):
+//   1. MULTIPLICITY: sort the union of both tables by (key, side); one
+//      segmented suffix aggregation (equi) or two rank queries per left
+//      row (band) yield, for every left row, the count of matching right
+//      rows and the rank of its first match in key-sorted right order.
+//   2. DISTRIBUTE-EXPAND: prefix sums turn counts into output offsets;
+//      left rows are distributed into the padded output frame with one
+//      oblivious sort, the gaps are filled by oblivious propagation, and
+//      oblivious compaction drops the distribution scaffolding. Every
+//      output slot now holds its left row and the rank of the right row
+//      it must pair with.
+//   3. ALIGN-CONCAT: one oblivious send-receive routes the rank-keyed
+//      right rows to the slots that request them.
+//
+// Obliviousness contract: for fixed table sizes and a fixed public output
+// bound, the sequence of scratch-array sizes, sorts, scans and routing
+// steps — and hence the comparator/access schedule — does not depend on
+// table contents. With a comparator-network backend the schedule is a
+// fixed function of the sizes (trace digests are bit-identical across
+// differing contents of the same shape); with the randomized full-sort
+// backends ("osort", "spms") the schedule additionally depends on their
+// per-call seeds and is oblivious in distribution (paper §C.4), replaying
+// bit-for-bit under the per-call seed-stream contract. The *returned*
+// (declassified) rows reveal the true match count — the same reveal the
+// paper proves safe for ORP's final compaction; everything computed inside
+// the measured pipeline is padded to the public bound.
+//
+// Size contract: keys < 2^62; per-table row count and the output bound
+// < 2^32 (the send-receive receiver bound); |L|·|R| < 2^62 (output
+// offsets are packed into sort keys with one tag bit to spare).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "obl/elem.hpp"
+#include "sim/tracked.hpp"
+
+namespace dopar::rel {
+
+/// Largest legal join/group key (exclusive): band arithmetic saturates at
+/// this bound, and every scratch sentinel lives above it.
+inline constexpr uint64_t kKeyLimit = uint64_t{1} << 62;
+
+/// Sentinel "no row" id carried by padding slots inside the engines.
+inline constexpr uint64_t kNoRow = ~uint64_t{0};
+
+/// Aggregation operators for group_by_aggregate. Sum wraps mod 2^64.
+enum class Agg { Sum, Count, Min, Max };
+
+/// Per-call options for the join operators.
+struct JoinOptions {
+  /// Public bound on the number of output pairs: the engine's schedule is
+  /// a function of (|L|, |R|, output_bound) only, and the result is
+  /// truncated to this many pairs if more match. 0 means |L|·|R| — the
+  /// trivially safe bound, at the cost of an output frame that large.
+  size_t output_bound = 0;
+  /// Backend / variant / params for every internal sort (same semantics
+  /// as on any other sorter-parametric Runtime method).
+  SortOptions sort{};
+};
+
+/// Per-call options for group_by_aggregate.
+struct GroupByOptions {
+  /// Public bound on the number of distinct groups (0 = row count, the
+  /// trivially safe bound). Groups beyond it — in ascending key order —
+  /// are truncated.
+  size_t group_bound = 0;
+  SortOptions sort{};
+};
+
+/// Result of a join: the matching pairs, grouped by left row in input
+/// order, each group's right rows ascending by (key, input index). `rows`
+/// holds min(matched, output_bound) pairs.
+template <class RecL, class RecR>
+struct JoinResult {
+  std::vector<std::pair<RecL, RecR>> rows;
+  /// True total number of matching pairs (revealed by the declassified
+  /// output, like the output length itself).
+  uint64_t matched = 0;
+  bool truncated() const { return matched > rows.size(); }
+};
+
+/// One output group of group_by_aggregate.
+struct GroupRow {
+  uint64_t key = 0;    ///< group key
+  uint64_t value = 0;  ///< aggregated value (== count for Agg::Count)
+  uint64_t count = 0;  ///< group size
+};
+
+/// Result of a group-by: groups ascending by key, truncated to the bound.
+struct GroupByResult {
+  std::vector<GroupRow> groups;
+  uint64_t groups_total = 0;  ///< true number of distinct groups
+  bool truncated() const { return groups_total > groups.size(); }
+};
+
+namespace detail {
+
+// The engines operate on canonical Elem tables prepared by the Runtime
+// wrappers: left/right rows carry the join key in .key and the caller's
+// row index in .payload. They run entirely inside the Runtime's execution
+// environment (tracked buffers, fork-join pool, measurement session).
+
+/// Join engine shared by equi (banded = false) and band join. Writes the
+/// aligned pairs into `out` (size = output bound): out[j].payload = left
+/// row id, out[j].aux = right row id, padding slots flagged kFiller.
+/// Returns the true total match count.
+uint64_t join_engine(const slice<obl::Elem>& left,
+                     const slice<obl::Elem>& right, bool banded,
+                     uint64_t band, const slice<obl::Elem>& out,
+                     const SorterBackend& sorter);
+
+/// Group-by engine: `in` rows carry key in .key and the value in .payload.
+/// Writes one Elem per group into `out` (size = group bound): key = group
+/// key, payload = aggregate, aux = group size; padding flagged kFiller.
+/// Returns the true number of distinct groups.
+uint64_t group_by_engine(const slice<obl::Elem>& in, Agg agg,
+                         const slice<obl::Elem>& out,
+                         const SorterBackend& sorter);
+
+}  // namespace detail
+
+}  // namespace dopar::rel
