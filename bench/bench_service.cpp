@@ -1,7 +1,8 @@
 // Serving-layer throughput: naive per-request submission (each request
-// runs its own full oblivious-sort pipeline) vs the Service's coalescer
-// (queued requests merged into one comparator-network sort over
-// slot-tagged composite keys).
+// runs its own full oblivious pipeline) vs the Service's coalescer —
+// sorts merged into one comparator-network sort over slot-tagged
+// composite keys, and equi-joins merged into one batched join plan
+// (shared multiplicity sort + one summed-bound distribute-expand frame).
 //
 // Wall-clock, machine-dependent — the committed BENCH_service.json rows
 // are report-only in CI ("service" is listed in WALL_CLOCK_SECTIONS).
@@ -12,6 +13,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,6 +29,15 @@ std::vector<uint64_t> req_keys(uint64_t tag, size_t n) {
   std::vector<uint64_t> keys(n);
   for (size_t i = 0; i < n; ++i) {
     keys[i] = dopar::util::hash_rand(tag, i) % 100000;
+  }
+  return keys;
+}
+
+std::vector<uint64_t> join_keys(uint64_t tag, size_t n) {
+  // Key domain 4n: every table pair shares keys, so joins do real work.
+  std::vector<uint64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = dopar::util::hash_rand(tag, i) % (4 * n);
   }
   return keys;
 }
@@ -94,6 +105,65 @@ double coalesced_rps(size_t n, size_t depth) {
   return static_cast<double>(depth) / secs;
 }
 
+/// Per-request equi-join without the serving layer: one submitted job per
+/// request, each running the canonical solo join pipeline.
+double join_naive_rps(size_t n, size_t depth) {
+  auto rt = make_rt();
+  const size_t bound = 4 * n;  // key domain 4n -> ~n/4 expected matches
+  std::vector<std::vector<uint64_t>> lk(depth), rk(depth);
+  for (size_t r = 0; r < depth; ++r) {
+    lk[r] = join_keys(2 * r, n);
+    rk[r] = join_keys(2 * r + 1, n);
+  }
+
+  const auto t0 = Clock::now();
+  std::vector<dopar::Future<uint64_t>> futs;
+  futs.reserve(depth);
+  for (size_t r = 0; r < depth; ++r) {
+    futs.push_back(rt.submit([&rt, &lk, &rk, r, bound] {
+      const auto ident = [](uint64_t k) { return k; };
+      dopar::rel::JoinOptions jo;
+      jo.output_bound = bound;
+      auto res = rt.equi_join(std::span<const uint64_t>(lk[r]), ident,
+                              std::span<const uint64_t>(rk[r]), ident, jo);
+      return res.matched;
+    }));
+  }
+  for (auto& f : futs) (void)f.get();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return static_cast<double>(depth) / secs;
+}
+
+/// The same joins through the Service: one shared batched join plan.
+double join_coalesced_rps(size_t n, size_t depth) {
+  auto rt = make_rt();
+  const size_t bound = 4 * n;
+  dopar::svc::Options o;
+  o.window = std::chrono::minutes(10);  // flush() triggers the dispatch
+  o.max_batch_requests = depth;
+  o.max_batch_elems = depth * (2 * n + bound);  // per-request footprint
+  o.queue_limit = depth;
+  dopar::Service s(rt, o);
+  std::vector<std::vector<uint64_t>> lk(depth), rk(depth);
+  for (size_t r = 0; r < depth; ++r) {
+    lk[r] = join_keys(2 * r, n);
+    rk[r] = join_keys(2 * r + 1, n);
+  }
+
+  const auto t0 = Clock::now();
+  std::vector<dopar::Future<dopar::rel::JoinResult<uint64_t, uint64_t>>> futs;
+  futs.reserve(depth);
+  for (size_t r = 0; r < depth; ++r) {
+    futs.push_back(s.equi_join(/*tenant=*/r, lk[r], rk[r], bound));
+  }
+  s.flush();
+  for (auto& f : futs) (void)f.get();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return static_cast<double>(depth) / secs;
+}
+
 template <class F>
 double best_of(F&& f) {
   double best = 0;
@@ -114,6 +184,19 @@ void run_config(size_t n, size_t depth) {
               coal / naive);
 }
 
+void run_join_config(size_t n, size_t depth) {
+  const double naive = best_of([&] { return join_naive_rps(n, depth); });
+  const double coal = best_of([&] { return join_coalesced_rps(n, depth); });
+  const std::string tag = "q=" + std::to_string(depth);
+  dopar::bench::Measure mn, mc;
+  mn.work = static_cast<uint64_t>(naive);  // requests/sec (see header)
+  mc.work = static_cast<uint64_t>(coal);
+  dopar::bench::record("service", "join_naive", n, tag, mn);
+  dopar::bench::record("service", "join_coalesced", n, tag, mc);
+  std::printf("%8zu %8zu %14.0f %14.0f %9.2fx\n", n, depth, naive, coal,
+              coal / naive);
+}
+
 }  // namespace
 
 int main() {
@@ -125,6 +208,14 @@ int main() {
   }
   for (size_t depth : {size_t{16}, size_t{64}}) {
     run_config(1024, depth);
+  }
+  dopar::bench::print_header(
+      "serving throughput: naive vs coalesced equi-join (requests/sec)",
+      "       n    depth      naive r/s  coalesced r/s    speedup");
+  for (size_t n : {size_t{256}, size_t{1024}}) {
+    for (size_t depth : {size_t{16}, size_t{64}}) {
+      run_join_config(n, depth);
+    }
   }
   dopar::bench::write_json("BENCH_service.json");
   return 0;

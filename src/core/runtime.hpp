@@ -476,6 +476,142 @@ class Runtime {
     return res;
   }
 
+  // ---- coalesced relational hooks (serving layer) ---------------------
+
+  /// Run a batch of independent joins as ONE shared plan (the serving
+  /// layer's coalesced path). `slots` is the public shape of the batch;
+  /// `left_keys`/`right_keys` are the slot-concatenated key tables. On
+  /// return `frame` holds sum(bound) output Elems, slot-major: slot s's
+  /// share carries (payload = left row id, aux = right row id) per pair,
+  /// local output position in .key, padding flagged kFiller — equal to
+  /// the slot's solo equi_join/band_join frame. Returns per-slot true
+  /// match counts. Keys must be <= rel::kMaxBatchKey (2^48 - 1).
+  std::vector<uint64_t> join_batched(const std::vector<uint64_t>& left_keys,
+                                     const std::vector<uint64_t>& right_keys,
+                                     const std::vector<rel::JoinSlot>& slots,
+                                     std::vector<obl::Elem>& frame,
+                                     const SortOptions& opts = {}) {
+    constexpr uint64_t kMaxRows = uint64_t{1} << 32;  // send-receive cap
+    const size_t S = slots.size();
+    if (S == 0 || S > rel::kMaxRelBatchSlots) {
+      throw std::invalid_argument("join_batched: bad slot count");
+    }
+    size_t nl_total = 0, nr_total = 0, bound_total = 0;
+    for (const rel::JoinSlot& sl : slots) {
+      if (sl.nl >= kMaxRows || sl.nr >= kMaxRows || sl.bound >= kMaxRows) {
+        throw std::invalid_argument(
+            "join_batched: per-slot sizes and bound must be < 2^32");
+      }
+      nl_total += sl.nl;
+      nr_total += sl.nr;
+      bound_total += sl.bound;
+    }
+    if (left_keys.size() != nl_total || right_keys.size() != nr_total) {
+      throw std::invalid_argument(
+          "join_batched: key tables must match the slot shapes");
+    }
+    for (uint64_t k : left_keys) {
+      if (k > rel::kMaxBatchKey) {
+        throw std::invalid_argument(
+            "join_batched: keys must be <= rel::kMaxBatchKey");
+      }
+    }
+    for (uint64_t k : right_keys) {
+      if (k > rel::kMaxBatchKey) {
+        throw std::invalid_argument(
+            "join_batched: keys must be <= rel::kMaxBatchKey");
+      }
+    }
+    const auto sorter = resolve(opts);
+    // Slot-local row ids, precomputed host-side (public shapes).
+    std::vector<uint32_t> lloc(nl_total), rloc(nr_total);
+    {
+      size_t li = 0, ri = 0;
+      for (const rel::JoinSlot& sl : slots) {
+        for (size_t i = 0; i < sl.nl; ++i) lloc[li++] = uint32_t(i);
+        for (size_t i = 0; i < sl.nr; ++i) rloc[ri++] = uint32_t(i);
+      }
+    }
+    frame.assign(bound_total, obl::Elem::filler());
+    std::vector<uint64_t> matched;
+    with_env([&] {
+      vec<obl::Elem> lv(nl_total), rv(nr_total);
+      vec<obl::Elem> outv(bound_total == 0 ? 1 : bound_total);
+      const slice<obl::Elem> out = outv.s().sub(0, bound_total);
+      obl::kernel::generate_range(lv.s(), 0, nl_total,
+                                  obl::kernel::Tick::PerElem,
+                                  [&](obl::Elem& e, size_t i) {
+                                    e.key = left_keys[i];
+                                    e.payload = lloc[i];
+                                  });
+      obl::kernel::generate_range(rv.s(), 0, nr_total,
+                                  obl::kernel::Tick::PerElem,
+                                  [&](obl::Elem& e, size_t i) {
+                                    e.key = right_keys[i];
+                                    e.payload = rloc[i];
+                                  });
+      matched = rel::detail::join_engine_batched(lv.s(), rv.s(), slots, out,
+                                                 *sorter);
+      std::copy_n(out.data(), bound_total, frame.data());
+    });
+    return matched;
+  }
+
+  /// Batched counterpart of group_by_aggregate: one shared plan over the
+  /// slot-concatenated (key, value) rows, ONE aggregation operator per
+  /// batch. On return `frame` holds sum(bound) Elems, slot-major, each
+  /// slot's share its groups ascending by key (key = group key, payload =
+  /// aggregate, aux = group size, padding kFiller) — equal to the solo
+  /// result. Returns per-slot distinct-group counts.
+  std::vector<uint64_t> group_by_batched(
+      const std::vector<uint64_t>& keys,
+      const std::vector<uint64_t>& values,
+      const std::vector<rel::GroupSlot>& slots, rel::Agg agg,
+      std::vector<obl::Elem>& frame, const SortOptions& opts = {}) {
+    constexpr uint64_t kMaxRows = uint64_t{1} << 32;
+    const size_t S = slots.size();
+    if (S == 0 || S > rel::kMaxRelBatchSlots) {
+      throw std::invalid_argument("group_by_batched: bad slot count");
+    }
+    size_t n_total = 0, bound_total = 0;
+    for (const rel::GroupSlot& sl : slots) {
+      if (sl.n >= kMaxRows || sl.bound >= kMaxRows) {
+        throw std::invalid_argument(
+            "group_by_batched: per-slot sizes and bound must be < 2^32");
+      }
+      n_total += sl.n;
+      bound_total += sl.bound;
+    }
+    if (keys.size() != n_total || values.size() != n_total) {
+      throw std::invalid_argument(
+          "group_by_batched: rows must match the slot shapes");
+    }
+    for (uint64_t k : keys) {
+      if (k > rel::kMaxBatchKey) {
+        throw std::invalid_argument(
+            "group_by_batched: keys must be <= rel::kMaxBatchKey");
+      }
+    }
+    const auto sorter = resolve(opts);
+    frame.assign(bound_total, obl::Elem::filler());
+    std::vector<uint64_t> groups;
+    with_env([&] {
+      vec<obl::Elem> inv(n_total);
+      vec<obl::Elem> outv(bound_total == 0 ? 1 : bound_total);
+      const slice<obl::Elem> out = outv.s().sub(0, bound_total);
+      obl::kernel::generate_range(inv.s(), 0, n_total,
+                                  obl::kernel::Tick::PerElem,
+                                  [&](obl::Elem& e, size_t i) {
+                                    e.key = keys[i];
+                                    e.payload = values[i];
+                                  });
+      groups = rel::detail::group_by_engine_batched(inv.s(), agg, slots,
+                                                    out, *sorter);
+      std::copy_n(out.data(), bound_total, frame.data());
+    });
+    return groups;
+  }
+
   // ---- Section 5 applications -----------------------------------------
 
   /// Oblivious list ranking: distance (weighted) to the list tail.

@@ -1,0 +1,269 @@
+#pragma once
+// Oblivious monotone routing and recorded comparator networks.
+//
+// Building blocks that move records for O(m log m) masked swaps instead of
+// a second full sort, for pipelines that know more about their permutation
+// than "sort by this key again":
+//
+//  * recorded networks — run the fixed bitonic sort / bitonic merge
+//    comparator schedule while saving each comparator's secret swap
+//    decision (one tape byte per comparator, written unconditionally).
+//    The network's permutation can then be inverted *exactly* by
+//    replaying the masks in reverse round order: a pipeline sorts into a
+//    convenient working order, computes, and routes every record back to
+//    its public home for the cost of comparison-free masked swaps.
+//
+//  * compact_monotone — order-preserving tight compaction: live records
+//    move to the front of the array, dead records are displaced behind
+//    them. Leftward bit-by-bit shift routing: a live record's offset is
+//    the number of dead records before it, offsets are non-decreasing and
+//    live targets consecutive, so applying offset bits LSB-first with
+//    ascending masked swaps never collides.
+//
+//  * distribute_monotone — the inverse direction (Goodrich-style
+//    oblivious distribution): records in a live prefix, each carrying a
+//    target position in .key with targets strictly increasing and
+//    target >= position, spread out to their targets; dead records are
+//    displaced passively. Offset bits are applied MSB-first with
+//    descending masked swaps; strict monotonicity keeps the routing
+//    collision-free.
+//
+// Obliviousness: every loop touches a fixed, size-determined sequence of
+// positions; secret-dependent choices happen only inside branchless
+// masked swaps (obl::oswap / kernel::oswap_batch_raw) and the
+// unconditional tape writes. Work ticks are likewise size-determined.
+//
+// The network runners follow the kernel layer's native idiom (mask a
+// contiguous pair run, swap it with one dispatched batch call); under an
+// instrumented session they account their touches per round via
+// touch_range, keeping the cache model fed without perturbing the
+// comparator schedule.
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "obl/elem.hpp"
+#include "obl/kernel/dispatch.hpp"
+#include "obl/oswap.hpp"
+#include "sim/session.hpp"
+#include "sim/tracked.hpp"
+#include "util/bits.hpp"
+
+namespace dopar::obl {
+
+namespace route_detail {
+
+/// One all-pairs round of a comparator network on m records: every i with
+/// (i & d) == 0 pairs with i + d (m/2 comparators). `k` is the bitonic
+/// sort stage size fixing pair directions ((s & k) == 0 means ascending);
+/// merge rounds use k = 0 (always ascending). `pos` is the round's tape
+/// offset (round index * m/2).
+struct Round {
+  size_t k;
+  size_t d;
+  size_t pos;
+};
+
+/// Rounds of the full bitonic sorting network (ascending), in execution
+/// order. O(log^2 m) entries.
+inline std::vector<Round> sort_rounds(size_t m) {
+  std::vector<Round> r;
+  size_t pos = 0;
+  for (size_t k = 2; k <= m; k <<= 1) {
+    for (size_t d = k >> 1; d >= 1; d >>= 1) {
+      r.push_back({k, d, pos});
+      pos += m / 2;
+    }
+  }
+  return r;
+}
+
+/// Rounds of one ascending bitonic merger. O(log m) entries.
+inline std::vector<Round> merge_rounds(size_t m) {
+  std::vector<Round> r;
+  size_t pos = 0;
+  for (size_t d = m >> 1; d >= 1; d >>= 1) {
+    r.push_back({0, d, pos});
+    pos += m / 2;
+  }
+  return r;
+}
+
+/// Forward pair run with recording: tape[j] = wrong-order mask of pair
+/// (xa[j], xb[j]) under direction `up`, then one batched masked swap.
+template <class T, class Less>
+inline void record_run(T* xa, T* xb, size_t count, bool up, uint8_t* tape,
+                       const Less& less) {
+  for (size_t j = 0; j < count; ++j) {
+    tape[j] =
+        static_cast<uint8_t>(up ? less(xb[j], xa[j]) : less(xa[j], xb[j]));
+  }
+  kernel::oswap_batch_raw(reinterpret_cast<unsigned char*>(xa),
+                          reinterpret_cast<unsigned char*>(xb), sizeof(T),
+                          sizeof(T), tape, count);
+}
+
+/// Run the rounds forward, recording every swap decision.
+template <class T, class Less>
+void run_recorded(const slice<T>& a, const std::vector<Round>& rounds,
+                  std::vector<uint8_t>& tape, const Less& less) {
+  const size_t m = a.size();
+  tape.resize(rounds.size() * (m / 2));
+  sim::tick(tape.size());
+  const bool instr = sim::current_session() != nullptr;
+  T* p = a.data();
+  for (const Round& r : rounds) {
+    if (instr) a.touch_range(0, m);
+    uint8_t* t = tape.data() + r.pos;
+    size_t w = 0;
+    for (size_t s = 0; s < m; s += 2 * r.d) {
+      const bool up = (s & r.k) == 0;
+      record_run(p + s, p + s + r.d, r.d, up, t + w, less);
+      w += r.d;
+    }
+  }
+}
+
+/// Exactly invert a recorded run: rounds in reverse order, swapping
+/// precisely where the forward pass swapped (comparison-free).
+template <class T>
+void replay_inverse(const slice<T>& a, const std::vector<Round>& rounds,
+                    const std::vector<uint8_t>& tape) {
+  const size_t m = a.size();
+  assert(tape.size() == rounds.size() * (m / 2));
+  sim::tick(tape.size());
+  const bool instr = sim::current_session() != nullptr;
+  T* p = a.data();
+  for (size_t ri = rounds.size(); ri-- > 0;) {
+    const Round& r = rounds[ri];
+    if (instr) a.touch_range(0, m);
+    const uint8_t* t = tape.data() + r.pos;
+    size_t w = 0;
+    for (size_t s = 0; s < m; s += 2 * r.d) {
+      kernel::oswap_batch_raw(
+          reinterpret_cast<unsigned char*>(p + s),
+          reinterpret_cast<unsigned char*>(p + s + r.d), sizeof(T),
+          sizeof(T), t + w, r.d);
+      w += r.d;
+    }
+  }
+}
+
+}  // namespace route_detail
+
+/// Sort `a` (pow2 size) ascending by `less` with the fixed bitonic
+/// network, recording the swap tape for later inversion.
+template <class T, class Less>
+void bitonic_sort_record(const slice<T>& a, std::vector<uint8_t>& tape,
+                         const Less& less) {
+  assert(util::is_pow2(a.size()) || a.size() == 0);
+  if (a.size() < 2) {
+    tape.clear();
+    return;
+  }
+  route_detail::run_recorded(a, route_detail::sort_rounds(a.size()), tape,
+                             less);
+}
+
+/// Undo a recorded bitonic sort: every record returns to its pre-sort
+/// position (carrying any value updates made while sorted).
+template <class T>
+void bitonic_sort_unreplay(const slice<T>& a,
+                           const std::vector<uint8_t>& tape) {
+  if (a.size() < 2) return;
+  route_detail::replay_inverse(a, route_detail::sort_rounds(a.size()), tape);
+}
+
+/// Merge a bitonic sequence (non-decreasing then non-increasing under
+/// `less`) ascending, recording the swap tape for later inversion.
+template <class T, class Less>
+void bitonic_merge_record(const slice<T>& a, std::vector<uint8_t>& tape,
+                          const Less& less) {
+  assert(util::is_pow2(a.size()) || a.size() == 0);
+  if (a.size() < 2) {
+    tape.clear();
+    return;
+  }
+  route_detail::run_recorded(a, route_detail::merge_rounds(a.size()), tape,
+                             less);
+}
+
+/// Undo a recorded bitonic merge.
+template <class T>
+void bitonic_merge_unreplay(const slice<T>& a,
+                            const std::vector<uint8_t>& tape) {
+  if (a.size() < 2) return;
+  route_detail::replay_inverse(a, route_detail::merge_rounds(a.size()),
+                               tape);
+}
+
+/// Order-preserving tight compaction: records with (flags & live_flag)
+/// move to the front of `a` (pow2 size), keeping their relative order;
+/// dead records end up behind them in unspecified order. O(m log m)
+/// masked swaps. The shift chains are sequentially dependent within a
+/// round, so pairs run scalar.
+inline void compact_monotone(const slice<Elem>& a, uint32_t live_flag) {
+  const size_t m = a.size();
+  assert(util::is_pow2(m) || m == 0);
+  if (m < 2) return;
+  Elem* p = a.data();
+  const bool instr = sim::current_session() != nullptr;
+  if (instr) a.touch_range(0, m);
+  // Offset of a live record = number of dead records before it.
+  std::vector<uint64_t> d(m);
+  uint64_t dead = 0;
+  for (size_t i = 0; i < m; ++i) {
+    d[i] = dead;
+    dead += static_cast<uint64_t>((p[i].flags & live_flag) == 0);
+  }
+  sim::tick(m);
+  // LSB-first leftward shifts; consecutive live targets never collide.
+  unsigned bit = 0;
+  for (size_t step = 1; step < m; step <<= 1, ++bit) {
+    if (instr) a.touch_range(0, m);
+    sim::tick(m - step);
+    for (size_t i = step; i < m; ++i) {
+      const bool sw =
+          ((p[i].flags & live_flag) != 0) & (((d[i] >> bit) & 1) != 0);
+      oswap(p[i - step], p[i], sw);
+      oswap(d[i - step], d[i], sw);
+    }
+  }
+}
+
+/// Oblivious monotone distribution: live records (flags & live_flag) in a
+/// prefix of `a` (pow2 size), each carrying its target position in .key
+/// with targets strictly increasing and .key >= position, move to their
+/// targets; dead records are displaced passively. O(m log m) masked
+/// swaps.
+inline void distribute_monotone(const slice<Elem>& a, uint32_t live_flag) {
+  const size_t m = a.size();
+  assert(util::is_pow2(m) || m == 0);
+  if (m < 2) return;
+  Elem* p = a.data();
+  const bool instr = sim::current_session() != nullptr;
+  if (instr) a.touch_range(0, m);
+  std::vector<uint64_t> d(m);
+  for (size_t i = 0; i < m; ++i) {
+    const bool live = (p[i].flags & live_flag) != 0;
+    assert(!live || (p[i].key >= i && p[i].key < m));
+    d[i] = (p[i].key - i) * static_cast<uint64_t>(live);
+  }
+  sim::tick(m);
+  // MSB-first rightward shifts with descending scan order; strictly
+  // monotone targets make the routing collision-free.
+  for (size_t step = m >> 1; step > 0; step >>= 1) {
+    const unsigned bit = util::log2_exact(step);
+    if (instr) a.touch_range(0, m);
+    sim::tick(m - step);
+    for (size_t i = m - step; i-- > 0;) {
+      const bool sw =
+          ((p[i].flags & live_flag) != 0) & (((d[i] >> bit) & 1) != 0);
+      oswap(p[i], p[i + step], sw);
+      oswap(d[i], d[i + step], sw);
+    }
+  }
+}
+
+}  // namespace dopar::obl

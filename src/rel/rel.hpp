@@ -69,6 +69,45 @@ inline constexpr uint64_t kKeyLimit = uint64_t{1} << 62;
 /// Sentinel "no row" id carried by padding slots inside the engines.
 inline constexpr uint64_t kNoRow = ~uint64_t{0};
 
+// ---- coalesced (batched) operator plans --------------------------------
+//
+// The serving layer merges many small compatible join / group-by requests
+// into ONE shared plan: each request becomes a *slot*, its keys are tagged
+// with the slot id in the top bits of the union-sort composite key
+// ((slot << kBatchKeyBits) | key), and every pass of the solo plan runs
+// once over the concatenated tables. Because slots occupy disjoint
+// composite-key ranges, the per-slot order inside every shared sort equals
+// the solo order, so each slot's output is bit-identical to a solo run of
+// the same request. The shared distribute-expand frame's public bound is
+// the SUM of the per-slot output bounds, split back per slot at public
+// offsets. The schedule is a pure function of the slot shape vector.
+
+/// Bits of a batched composite key carrying the row's own key; the slot id
+/// rides above them. Mirrors the serving layer's sort-coalescing layout.
+inline constexpr unsigned kBatchKeyBits = 48;
+/// Largest row key that may ride in a coalesced relational batch
+/// (inclusive): composite keys must stay below kKeyLimit.
+inline constexpr uint64_t kMaxBatchKey =
+    (uint64_t{1} << kBatchKeyBits) - 1;
+/// Slots per coalesced relational batch: 2^62 composite-key space over
+/// 48-bit row keys leaves 14 slot bits.
+inline constexpr size_t kMaxRelBatchSlots = size_t{1} << 14;
+
+/// Public shape of one slot (one request) in a coalesced join batch.
+struct JoinSlot {
+  size_t nl = 0;       ///< left-table rows
+  size_t nr = 0;       ///< right-table rows
+  size_t bound = 0;    ///< public output bound (this slot's frame share)
+  bool banded = false; ///< band join (equi when false)
+  uint64_t band = 0;   ///< band half-width (ignored unless banded)
+};
+
+/// Public shape of one slot in a coalesced group-by batch.
+struct GroupSlot {
+  size_t n = 0;      ///< input rows
+  size_t bound = 0;  ///< public group bound (this slot's frame share)
+};
+
 /// Aggregation operators for group_by_aggregate. Sum wraps mod 2^64.
 enum class Agg { Sum, Count, Min, Max };
 
@@ -142,6 +181,33 @@ uint64_t join_engine(const slice<obl::Elem>& left,
 uint64_t group_by_engine(const slice<obl::Elem>& in, Agg agg,
                          const slice<obl::Elem>& out,
                          const SorterBackend& sorter);
+
+/// Coalesced join engine: `left`/`right` are the slot-concatenated tables
+/// (slot s's rows at the public offsets implied by `slots`, raw per-slot
+/// key in .key, caller row id in .payload) and `out` has size
+/// sum(slots[s].bound). Writes each slot's solo join_engine output —
+/// bit-identical at the (payload = left id, aux = right id, kFiller) level
+/// — into its share of the frame, local output position in .key. Returns
+/// the per-slot true match counts. Contract: keys <= kMaxBatchKey, slot
+/// count <= kMaxRelBatchSlots, per-slot bound < 2^33.
+std::vector<uint64_t> join_engine_batched(const slice<obl::Elem>& left,
+                                          const slice<obl::Elem>& right,
+                                          const std::vector<JoinSlot>& slots,
+                                          const slice<obl::Elem>& out,
+                                          const SorterBackend& sorter);
+
+/// Coalesced group-by engine: `in` is the slot-concatenated input (key in
+/// .key, value in .payload), `out` has size sum(slots[s].bound); slot s's
+/// share holds its groups ascending by key (key = group key, payload =
+/// aggregate, aux = group size, padding kFiller), equal to its solo
+/// group_by_engine output. Returns the per-slot distinct-group counts.
+/// Contract: keys <= kMaxBatchKey, slot count <= kMaxRelBatchSlots,
+/// per-slot rows < 2^32 and bound < 2^33. One batch runs ONE aggregation
+/// operator — the serving layer only coalesces same-agg requests.
+std::vector<uint64_t> group_by_engine_batched(
+    const slice<obl::Elem>& in, Agg agg,
+    const std::vector<GroupSlot>& slots, const slice<obl::Elem>& out,
+    const SorterBackend& sorter);
 
 }  // namespace detail
 

@@ -63,6 +63,18 @@ class Governor {
     return true;
   }
 
+  /// Observation keyed to the Runtime's ACTUAL policy instead of the
+  /// governor's own memory of it: returns true when `actual` differs from
+  /// the decision, i.e. the caller must (re)apply current(). Comparing
+  /// against the internal current_ alone desyncs when a user flips
+  /// Runtime::set_scheduler_policy directly — the governor would then not
+  /// reassert until its *decision* next changed.
+  bool observe_actual(size_t queued, size_t inflight,
+                      sched::SchedPolicy actual) {
+    current_ = decide(cfg_, queued, inflight);
+    return current_ != actual;
+  }
+
   sched::SchedPolicy current() const { return current_; }
   const GovernorConfig& config() const { return cfg_; }
 

@@ -9,18 +9,37 @@
 //
 //  1. COALESCER. Accepted requests wait in a bounded queue for a short
 //     window (Options::window) or until a size/count threshold fires;
-//     compatible queued requests are then merged into ONE oblivious sort
-//     over slot-tagged composite keys (svc/coalesce.hpp) and split back
-//     per request. The batch runs on the Runtime's comparator-network
-//     sorter layer (Runtime::backend_sort) — deterministic and data-
-//     oblivious, and far cheaper than one full pipeline per request.
-//     Requests that cannot ride a batch (keys >= 2^48, oversize) run solo
-//     on the canonical full pipeline. Either way a request's output is
-//     BIT-IDENTICAL to what it would get served alone: the sorted key
-//     sequence is the input multiset, and the tie order is normalized
-//     from a per-request content-derived seed stream (normalize_ties) —
-//     provable by replaying a request solo and comparing bytes, or by
-//     comparing instrumented trace digests across runs.
+//     compatible queued requests of the SAME KIND are then merged into
+//     ONE shared plan and split back per request:
+//
+//       * sort      — one oblivious sort over slot-tagged composite keys
+//                     (svc/coalesce.hpp) on the Runtime's comparator-
+//                     network sorter layer (Runtime::backend_sort);
+//       * join      — equi_join()/band_join() requests share one batched
+//                     join plan (rel::detail::join_engine_batched):
+//                     slot-tagged composite keys ride the multiplicity
+//                     union sort, and ONE distribute-expand frame — its
+//                     public bound the SUM of the per-request output
+//                     bounds — is split back per slot. Equi and band
+//                     requests coalesce freely (bandedness is per-slot
+//                     public shape).
+//       * group-by  — group_by_aggregate() requests with the SAME
+//                     aggregation operator share one batched grouping
+//                     plan the same way (the operator is part of the
+//                     plan, so mixed-agg requests never coalesce).
+//
+//     Each kind keeps its own coalescible-row accounting against
+//     Options::max_batch_elems — a request's footprint is its total rows
+//     plus, for join/group-by, its output bound. Requests that cannot
+//     ride a batch (keys > 2^48-1, oversize footprint) run solo on the
+//     canonical pipeline. Either way a request's output is BIT-IDENTICAL
+//     to what it would get served alone: for sorts the tie order is
+//     normalized from a per-request content-derived seed stream
+//     (normalize_ties); join/group-by results have no free tie order at
+//     all — the output contract fixes a total row order, so they are a
+//     pure function of the request. Provable by replaying a request solo
+//     and comparing bytes, or by comparing instrumented trace digests
+//     across runs.
 //
 //  2. ADMISSION CONTROL + BACKPRESSURE. The submit queue is bounded
 //     (Options::queue_limit). try_sort() rejects immediately when full;
@@ -59,6 +78,7 @@
 
 #include "core/future.hpp"
 #include "core/runtime.hpp"
+#include "rel/rel.hpp"
 #include "svc/coalesce.hpp"
 #include "svc/governor.hpp"
 
@@ -79,7 +99,8 @@ struct Options {
   /// slot-tag capacity).
   size_t max_batch_requests = 64;
   /// Total rows per coalesced batch; also the per-request coalescibility
-  /// bound (larger requests run solo).
+  /// bound (larger requests run solo). A request's charged footprint is
+  /// its input rows plus, for join/group-by, its output bound.
   size_t max_batch_elems = size_t{1} << 16;
   /// Bound on queued (accepted, not yet dispatched) requests.
   size_t queue_limit = 1024;
@@ -92,18 +113,34 @@ struct Options {
   /// the same seed serve identical outputs for identical requests.
   uint64_t seed = 0x5e4c'5eedULL;
   GovernorConfig governor{};
-  /// Sorter backend for coalesced batches ("" = the Runtime's configured
-  /// backend). Must name a registered backend; comparator networks are
-  /// the intended choices.
+  /// Sorter backend for coalesced batches — the composite sort and every
+  /// internal sort of the batched join/group-by plans ("" = the Runtime's
+  /// configured backend). Must name a registered backend; comparator
+  /// networks are the intended choices. Results never depend on it.
   std::string batch_backend{};
 };
 
 class Service {
  public:
+  /// Request kinds the coalescer understands. Only same-kind requests
+  /// share a batch; group-by additionally requires an equal aggregation
+  /// operator. Values index Stats::kinds.
+  enum class Kind : uint8_t { Sort = 0, Join = 1, GroupBy = 2 };
+  static constexpr size_t kNumKinds = 3;
+
+  /// Per-kind slice of the batch counters.
+  struct KindStats {
+    uint64_t accepted = 0;           ///< requests admitted (inline incl.)
+    uint64_t batches = 0;            ///< dispatched batches of this kind
+    uint64_t solo_batches = 0;       ///< batches of exactly one request
+    uint64_t coalesced_requests = 0; ///< requests served in >= 2-batches
+    uint64_t solo_requests = 0;      ///< requests served alone
+  };
+
   /// Monotonic counters, snapshot via stats().
   struct Stats {
     uint64_t accepted = 0;   ///< requests admitted to the queue
-    uint64_t rejected = 0;   ///< try_sort refusals (queue full)
+    uint64_t rejected = 0;   ///< try_* refusals (queue full)
     uint64_t timed_out = 0;  ///< blocking submits that hit submit_timeout
     uint64_t batches = 0;    ///< dispatched batches (solo included)
     uint64_t solo_batches = 0;       ///< batches of exactly one request
@@ -115,6 +152,7 @@ class Service {
     size_t queue_depth_high_water = 0;
     size_t inflight_high_water = 0;
     uint64_t policy_switches = 0;  ///< governor-applied policy changes
+    std::array<KindStats, kNumKinds> kinds{};  ///< per-kind breakdown
   };
 
   explicit Service(Runtime& rt, Options opts = {});
@@ -171,6 +209,51 @@ class Service {
     return fut;
   }
 
+  /// Submit an oblivious equi-join of two key tables: the future yields
+  /// every (l, r) key pair with l == r, grouped by left row in input
+  /// order, each group ascending by right (key, index) — exactly the
+  /// Runtime::equi_join output over the same tables, byte for byte,
+  /// whether the request rode a coalesced batch or ran solo. Keys must be
+  /// < rel::kKeyLimit (2^62); keys <= 2^48-1 and a footprint (|L| + |R| +
+  /// bound) within Options::max_batch_elems make the request coalescible.
+  /// `output_bound` caps the returned pairs (0 = |L|*|R|, which must stay
+  /// < 2^32). Blocking/throwing behavior matches sort().
+  Future<rel::JoinResult<uint64_t, uint64_t>> equi_join(
+      uint64_t tenant, std::vector<uint64_t> left_keys,
+      std::vector<uint64_t> right_keys, size_t output_bound = 0);
+
+  /// Non-blocking equi_join: std::nullopt (and a `rejected` tick) when
+  /// the queue is full.
+  std::optional<Future<rel::JoinResult<uint64_t, uint64_t>>> try_equi_join(
+      uint64_t tenant, std::vector<uint64_t> left_keys,
+      std::vector<uint64_t> right_keys, size_t output_bound = 0);
+
+  /// Band join: pairs with |l - r| <= band. Same contract as equi_join
+  /// (band = 0 degenerates to it exactly); equi and band requests
+  /// coalesce into the same batches.
+  Future<rel::JoinResult<uint64_t, uint64_t>> band_join(
+      uint64_t tenant, std::vector<uint64_t> left_keys,
+      std::vector<uint64_t> right_keys, uint64_t band,
+      size_t output_bound = 0);
+
+  std::optional<Future<rel::JoinResult<uint64_t, uint64_t>>> try_band_join(
+      uint64_t tenant, std::vector<uint64_t> left_keys,
+      std::vector<uint64_t> right_keys, uint64_t band,
+      size_t output_bound = 0);
+
+  /// Submit an oblivious group-by aggregation over parallel (key, value)
+  /// columns: the future yields one GroupRow per distinct key (ascending,
+  /// truncated to `group_bound`; 0 = row count) — byte-identical to the
+  /// solo Runtime::group_by_aggregate result. Only requests with the SAME
+  /// `agg` coalesce; footprint is rows + bound. Keys < rel::kKeyLimit.
+  Future<rel::GroupByResult> group_by_aggregate(
+      uint64_t tenant, std::vector<uint64_t> keys,
+      std::vector<uint64_t> values, rel::Agg agg, size_t group_bound = 0);
+
+  std::optional<Future<rel::GroupByResult>> try_group_by_aggregate(
+      uint64_t tenant, std::vector<uint64_t> keys,
+      std::vector<uint64_t> values, rel::Agg agg, size_t group_bound = 0);
+
   /// Dispatch everything currently queued without waiting for the window
   /// (returns immediately; await the futures for completion).
   void flush();
@@ -181,38 +264,75 @@ class Service {
   const Options& options() const { return opts_; }
 
  private:
-  /// Completion callback of one request: (sorted keys, original-index
+  /// Completion callback of one sort request: (sorted keys, original-index
   /// permutation, error). Exactly one of {results, error} is meaningful.
   using FinishFn = std::function<void(
       std::vector<uint64_t>&&, std::vector<uint32_t>&&, std::exception_ptr)>;
+  /// Completion callback of one join request.
+  using JoinFinishFn = std::function<void(
+      rel::JoinResult<uint64_t, uint64_t>&&, std::exception_ptr)>;
+  /// Completion callback of one group-by request.
+  using GroupFinishFn =
+      std::function<void(rel::GroupByResult&&, std::exception_ptr)>;
 
   enum class Admit { kOk, kFull, kTimeout };
 
   struct PendingReq {
+    Kind kind = Kind::Sort;
     uint64_t ticket = 0;
     uint64_t tenant = 0;
+    /// Sort keys / join left keys / group-by keys.
     std::vector<uint64_t> keys;
+    /// Join right keys / group-by values (unused for sorts).
+    std::vector<uint64_t> keys2;
+    size_t bound = 0;     ///< effective join output / group bound
+    bool banded = false;  ///< join: band mode
+    uint64_t band = 0;    ///< join: band half-width
+    rel::Agg agg = rel::Agg::Sum;  ///< group-by operator (compat key)
     uint64_t stream = 0;  ///< content-derived tie-normalization stream
+                          ///< (sorts only; join/group-by have no free
+                          ///< tie order to normalize)
     bool coalescible = false;
+    /// Rows charged against max_batch_elems when coalescing: input rows
+    /// plus, for join/group-by, the output bound (the request's share of
+    /// the batched frame).
+    size_t footprint = 0;
     std::chrono::steady_clock::time_point enqueued{};
-    FinishFn finish;
+    FinishFn finish;            ///< exactly one of the three is set,
+    JoinFinishFn finish_join;   ///< matching `kind`
+    GroupFinishFn finish_group;
   };
 
   struct Batch {
-    std::vector<PendingReq> reqs;
-    bool coalesced = false;  ///< reqs.size() >= 2 (one composite sort)
+    std::vector<PendingReq> reqs;  ///< all of one kind (and one agg)
+    Kind kind = Kind::Sort;
+    bool coalesced = false;  ///< reqs.size() >= 2 (one shared plan)
     size_t done = 0;         ///< requests already finished (error scoping)
   };
 
   Admit enqueue(uint64_t tenant, std::vector<uint64_t> keys, FinishFn finish,
                 bool block);
+  Admit enqueue_join(uint64_t tenant, std::vector<uint64_t> left,
+                     std::vector<uint64_t> right, bool banded, uint64_t band,
+                     size_t output_bound, JoinFinishFn finish, bool block);
+  Admit enqueue_group(uint64_t tenant, std::vector<uint64_t> keys,
+                      std::vector<uint64_t> values, rel::Agg agg,
+                      size_t group_bound, GroupFinishFn finish, bool block);
+  /// Common admission tail: space wait, ticket, queue push, accounting.
+  Admit admit(PendingReq&& req, bool block);
   static void throw_on(Admit a);
+  static void fail_req(PendingReq& r, std::exception_ptr err);
+  size_t max_batch_requests_for(Kind k) const;
   void dispatcher_loop();
   bool ripe_locked() const;
   std::shared_ptr<Batch> carve_locked();
   void run_batch(Batch& b);
   void run_coalesced(Batch& b);
   void run_solo(Batch& b);
+  void run_coalesced_join(Batch& b);
+  void run_solo_join(Batch& b);
+  void run_coalesced_group(Batch& b);
+  void run_solo_group(Batch& b);
   void complete(Batch& b, PendingReq& r, std::vector<uint64_t> keys,
                 std::vector<uint32_t> order);
   void governor_observe_locked();
@@ -225,10 +345,18 @@ class Service {
   std::condition_variable cv_work_;   ///< dispatcher: work/capacity/stop
   std::condition_variable cv_space_;  ///< submitters: queue has room
   std::deque<PendingReq> queue_;
-  size_t queued_elems_ = 0;
+  /// Queued COALESCIBLE rows / requests per kind: the ripeness thresholds
+  /// only count rows that could actually ride the next batch — an
+  /// uncoalescible (solo-bound) request mid-queue must not trip them.
+  std::array<size_t, kNumKinds> coal_elems_{};
+  std::array<size_t, kNumKinds> coal_count_{};
   size_t inflight_ = 0;
   bool stop_ = false;
-  bool flush_ = false;
+  /// Flush watermark: every request with ticket <= flush_upto_ is ripe.
+  /// Self-clearing by construction (later requests have larger tickets),
+  /// so no stale reset can eat a flush issued while the dispatcher was
+  /// parked at the inflight gate.
+  uint64_t flush_upto_ = 0;
   uint64_t next_ticket_ = 0;
   Stats stats_;
   std::thread dispatcher_;  ///< last member: started last, joined in dtor

@@ -248,6 +248,107 @@ TEST(Service, TrySortRejectsWhenFullAndSubmitTimesOut) {
   EXPECT_EQ(f5.get().size(), 16u);
 }
 
+// ---- serving-layer bug-sweep regressions --------------------------------
+
+TEST(Service, OversizeRequestDoesNotTripThresholds) {
+  // Regression: the elems threshold must count only COALESCIBLE rows. An
+  // oversize (solo-bound) request parked mid-queue used to inflate the
+  // shared counter and fire premature, undersized batches for the
+  // coalescible traffic around it.
+  auto rt = make_rt();
+  dopar::svc::Options o;
+  o.window = 10min;
+  o.max_batch_elems = 1024;
+  o.max_inflight_batches = 1;
+  dopar::Service s(rt, o);
+
+  std::vector<dopar::Future<std::vector<uint64_t>>> futs;
+  for (uint64_t r = 0; r < 4; ++r) {
+    futs.push_back(s.sort(r, request_keys(r, 64)));
+  }
+  // 1500 > max_batch_elems: uncoalescible, must not count toward ripeness.
+  futs.push_back(s.sort(9, request_keys(9, 1500)));
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(s.stats().batches, 0u) << "premature batch fired";
+
+  for (uint64_t r = 4; r < 8; ++r) {
+    futs.push_back(s.sort(r, request_keys(r, 64)));
+  }
+  s.flush();
+  for (auto& f : futs) (void)f.get();
+
+  const auto st = s.stats();
+  // One batch of all 8 smalls (bucket 3: sizes 8..15), one solo batch for
+  // the oversize request (bucket 0).
+  EXPECT_EQ(st.batches, 2u);
+  EXPECT_EQ(st.batch_size_hist[3], 1u);
+  EXPECT_EQ(st.batch_size_hist[0], 1u);
+  EXPECT_EQ(st.kinds[size_t(dopar::Service::Kind::Sort)].solo_requests, 1u);
+  EXPECT_EQ(st.kinds[size_t(dopar::Service::Kind::Sort)].coalesced_requests,
+            8u);
+}
+
+TEST(Governor, ObserveActualDetectsForeignPolicy) {
+  // Regression: observing against the governor's own memory desyncs after
+  // a direct Runtime::set_scheduler_policy — the decision hasn't changed,
+  // so observe() returns false and the foreign policy sticks.
+  dopar::svc::Governor g;  // initial Exclusive
+  EXPECT_FALSE(g.observe(0, 0));  // decision Exclusive, memory Exclusive
+  // The runtime was flipped to Stealing behind the governor's back:
+  EXPECT_TRUE(g.observe_actual(0, 0, dopar::SchedPolicy::Stealing));
+  EXPECT_EQ(g.current(), dopar::SchedPolicy::Exclusive);  // to reapply
+  EXPECT_FALSE(g.observe_actual(0, 0, dopar::SchedPolicy::Exclusive));
+}
+
+TEST(Service, GovernorReassertsAfterDirectPolicyChange) {
+  auto rt = make_rt();
+  ASSERT_EQ(rt.scheduler_policy(), dopar::SchedPolicy::Exclusive);
+  {
+    dopar::svc::Options o;
+    o.window = 10min;
+    o.max_inflight_batches = 1;
+    dopar::Service s(rt, o);
+    auto f1 = s.sort(0, request_keys(1, 64));
+    s.flush();
+    (void)f1.get();
+
+    // A user flips the policy out from under the Service...
+    rt.set_scheduler_policy(dopar::SchedPolicy::Stealing);
+    ASSERT_EQ(rt.scheduler_policy(), dopar::SchedPolicy::Stealing);
+
+    // ...and the next dispatch reasserts the governed policy.
+    auto f2 = s.sort(0, request_keys(2, 64));
+    s.flush();
+    (void)f2.get();
+    EXPECT_GE(s.stats().policy_switches, 1u);
+  }
+  EXPECT_EQ(rt.scheduler_policy(), dopar::SchedPolicy::Exclusive);
+}
+
+TEST(Service, FlushWhileInflightGateParkedIsNotLost) {
+  // Regression: a flush() issued while the dispatcher was parked at the
+  // inflight-slot gate could be eaten by a stale flush-flag reset,
+  // leaving the flushed request to wait out the full window. With a
+  // 10-minute window, a lost flush turns into a test timeout.
+  auto rt = make_rt();
+  dopar::svc::Options o;
+  o.window = 10min;
+  o.max_inflight_batches = 1;
+  dopar::Service s(rt, o);
+
+  std::vector<dopar::Future<std::vector<uint64_t>>> futs;
+  for (uint64_t r = 0; r < 8; ++r) {
+    // Each flush lands while the previous batch is likely still in
+    // flight, i.e. while the dispatcher sits at the gate.
+    futs.push_back(s.sort(r, request_keys(r, 2048)));
+    s.flush();
+  }
+  for (auto& f : futs) {
+    EXPECT_EQ(f.get().size(), 2048u);
+  }
+  EXPECT_GE(s.stats().batches, 1u);
+}
+
 // ---- adaptive policy governor -------------------------------------------
 
 TEST(Governor, DecideThresholds) {
