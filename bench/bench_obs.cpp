@@ -1,0 +1,132 @@
+// Observability hook cost: what a library hook site costs while its gate
+// is OFF (the disabled-mode contract: one relaxed atomic load and a
+// branch — no clock, no allocation, no mutex) and what recording costs
+// while the gate is ON (clock reads + a ring-buffer store per span; a few
+// relaxed atomic ops per metric update).
+//
+// Wall-clock, machine-dependent — the committed BENCH_obs.json rows are
+// report-only in CI ("obs" is listed in WALL_CLOCK_SECTIONS). Schema
+// note: for this section the `work` column holds PICOSECONDS PER
+// OPERATION (ns/op would truncate the sub-ns disabled hooks to zero);
+// span/misses are unused. The "seed loop" baseline is the same arithmetic
+// kernel with no hook at all, so disabled-hook overhead is
+// (config - baseline) / baseline. Best (lowest) of kIters runs.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dopar.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+constexpr int kIters = 5;
+
+/// Volatile sink: keeps the kernel loop and its hooks from folding away.
+volatile uint64_t g_sink = 0;
+
+/// The arithmetic kernel every configuration wraps: one multiply-add into
+/// the sink, roughly the density of a hot library loop iteration.
+inline void kernel(uint64_t i) {
+  g_sink = g_sink + i * 0x9e3779b97f4a7c15ULL;
+}
+
+template <class Body>
+double ps_per_op(size_t iters, Body&& body) {
+  const auto t0 = Clock::now();
+  for (uint64_t i = 0; i < iters; ++i) body(i);
+  const double ns = std::chrono::duration<double, std::nano>(
+                        Clock::now() - t0)
+                        .count();
+  return ns * 1000.0 / static_cast<double>(iters);
+}
+
+template <class Body>
+double best_ps(size_t iters, Body&& body) {
+  double best = 0;
+  for (int r = 0; r < kIters; ++r) {
+    const double ps = ps_per_op(iters, body);
+    if (best == 0 || ps < best) best = ps;
+  }
+  return best;
+}
+
+dopar::obs::Counter& bench_counter() {
+  static dopar::obs::Counter& c =
+      dopar::obs::Registry::global().counter("bench_obs_counter_total");
+  return c;
+}
+
+dopar::obs::Histogram& bench_hist() {
+  static dopar::obs::Histogram& h =
+      dopar::obs::Registry::global().histogram("bench_obs_hist");
+  return h;
+}
+
+void row(const char* config, size_t iters, double ps) {
+  dopar::bench::Measure m;
+  m.work = static_cast<uint64_t>(ps);  // picoseconds/op (see header)
+  dopar::bench::record("obs", config, iters, "", m);
+  std::printf("%-18s %10zu ops %12.1f ps/op\n", config, iters, ps);
+}
+
+}  // namespace
+
+int main() {
+  dopar::bench::print_header(
+      "observability hook cost (picoseconds per operation)",
+      "config                    ops        cost");
+
+  // Gates off: the disabled-mode contract. Every hook must sit within a
+  // few hundred ps of the bare kernel.
+  constexpr size_t kOff = size_t{1} << 22;
+  const double base = best_ps(kOff, [](uint64_t i) { kernel(i); });
+  row("seed_loop", kOff, base);
+  row("span_disabled", kOff, best_ps(kOff, [](uint64_t i) {
+        dopar::obs::Span span("bench.span");
+        kernel(i);
+      }));
+  row("instant_disabled", kOff, best_ps(kOff, [](uint64_t i) {
+        dopar::obs::instant("bench.instant");
+        kernel(i);
+      }));
+  row("counter_disabled", kOff, best_ps(kOff, [](uint64_t i) {
+        if (dopar::obs::metrics_on()) bench_counter().inc();
+        kernel(i);
+      }));
+
+  // Metrics gate on: a few relaxed atomic ops on a per-thread shard.
+  {
+    dopar::obs::ScopedEnable metrics(true, false);
+    constexpr size_t kOn = size_t{1} << 20;
+    row("counter_enabled", kOn, best_ps(kOn, [](uint64_t i) {
+          if (dopar::obs::metrics_on()) bench_counter().inc();
+          kernel(i);
+        }));
+    row("hist_enabled", kOn, best_ps(kOn, [](uint64_t i) {
+          if (dopar::obs::metrics_on()) bench_hist().observe(i & 0xffff);
+          kernel(i);
+        }));
+  }
+
+  // Tracing gate on: two clock reads plus one ring-buffer store per span
+  // (the ring overwrites its oldest events, so a long run stays bounded).
+  {
+    dopar::obs::ScopedEnable tracing(false, true);
+    constexpr size_t kSpans = size_t{1} << 18;
+    row("span_enabled", kSpans, best_ps(kSpans, [](uint64_t i) {
+          dopar::obs::Span span("bench.span", "i", i);
+          kernel(i);
+        }));
+    row("instant_enabled", kSpans, best_ps(kSpans, [](uint64_t i) {
+          dopar::obs::instant("bench.instant", "i", i);
+          kernel(i);
+        }));
+    dopar::obs::reset_trace();  // drop the bench spam from the rings
+  }
+
+  dopar::bench::write_json("BENCH_obs.json");
+  return 0;
+}

@@ -5,10 +5,15 @@
 // (shared multiplicity sort + one summed-bound distribute-expand frame).
 //
 // Wall-clock, machine-dependent — the committed BENCH_service.json rows
-// are report-only in CI ("service" is listed in WALL_CLOCK_SECTIONS).
-// Schema note: for this section the `work` column holds REQUESTS PER
-// SECOND (higher is better), not microseconds; the backend column tags
-// the queue depth ("q=64"). Best of kIters runs per configuration.
+// are report-only in CI ("service" and "service_latency" are listed in
+// WALL_CLOCK_SECTIONS). Schema notes: for the "service" section the
+// `work` column holds REQUESTS PER SECOND (higher is better), not
+// microseconds; the backend column tags the queue depth ("q=64"). The
+// "service_latency" section packs per-request latency quantiles into the
+// three numeric columns: work/span/misses = p50/p95/p99 in NANOSECONDS
+// (admission to promise-set, from the obs log2-bucket histograms — the
+// same series Service::stats() summarizes). Best of kIters runs per
+// configuration; latency quantiles pool all kIters runs.
 
 #include <chrono>
 #include <cstdint>
@@ -50,6 +55,36 @@ dopar::Runtime make_rt() {
       .build();
 }
 
+// Latency series. The coalesced paths reuse the Service's own obs
+// histograms; the naive paths observe into bench-local ones so both sides
+// share the same log2-bucket quantile math.
+dopar::obs::Histogram& naive_sort_lat() {
+  static dopar::obs::Histogram& h = dopar::obs::Registry::global().histogram(
+      "bench_svc_naive_latency_ns_sort");
+  return h;
+}
+dopar::obs::Histogram& naive_join_lat() {
+  static dopar::obs::Histogram& h = dopar::obs::Registry::global().histogram(
+      "bench_svc_naive_latency_ns_join");
+  return h;
+}
+dopar::obs::Histogram& svc_sort_lat() {
+  static dopar::obs::Histogram& h =
+      dopar::obs::Registry::global().histogram("dopar_svc_latency_ns_sort");
+  return h;
+}
+dopar::obs::Histogram& svc_join_lat() {
+  static dopar::obs::Histogram& h =
+      dopar::obs::Registry::global().histogram("dopar_svc_latency_ns_join");
+  return h;
+}
+
+uint64_t ns_since(Clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
 /// What an application does without the serving layer: one submitted job
 /// per request, each running the canonical full pipeline.
 double naive_rps(size_t n, size_t depth) {
@@ -62,7 +97,8 @@ double naive_rps(size_t n, size_t depth) {
   std::vector<dopar::Future<uint64_t>> futs;
   futs.reserve(depth);
   for (size_t r = 0; r < depth; ++r) {
-    futs.push_back(rt.submit([&rt, &inputs, r] {
+    const auto tr0 = Clock::now();
+    futs.push_back(rt.submit([&rt, &inputs, r, tr0] {
       std::vector<dopar::Elem> rows(inputs[r].size());
       for (size_t i = 0; i < rows.size(); ++i) {
         rows[i].key = inputs[r][i];
@@ -70,6 +106,7 @@ double naive_rps(size_t n, size_t depth) {
       }
       auto v = rt.make_vec(std::move(rows));
       rt.sort(v.s());
+      naive_sort_lat().observe(ns_since(tr0));  // submit -> result ready
       return v.s().raw(0).key;
     }));
   }
@@ -120,12 +157,14 @@ double join_naive_rps(size_t n, size_t depth) {
   std::vector<dopar::Future<uint64_t>> futs;
   futs.reserve(depth);
   for (size_t r = 0; r < depth; ++r) {
-    futs.push_back(rt.submit([&rt, &lk, &rk, r, bound] {
+    const auto tr0 = Clock::now();
+    futs.push_back(rt.submit([&rt, &lk, &rk, r, bound, tr0] {
       const auto ident = [](uint64_t k) { return k; };
       dopar::rel::JoinOptions jo;
       jo.output_bound = bound;
       auto res = rt.equi_join(std::span<const uint64_t>(lk[r]), ident,
                               std::span<const uint64_t>(rk[r]), ident, jo);
+      naive_join_lat().observe(ns_since(tr0));  // submit -> result ready
       return res.matched;
     }));
   }
@@ -171,8 +210,30 @@ double best_of(F&& f) {
   return best;
 }
 
+/// Pooled latency quantiles of the delta since `base` as one row:
+/// work/span/misses = p50/p95/p99 ns (see the header comment).
+void record_latency(const char* config, size_t n, const std::string& tag,
+                    dopar::obs::Histogram& h,
+                    const dopar::obs::HistSnapshot& base) {
+  const dopar::obs::HistSnapshot s = h.snapshot().since(base);
+  dopar::bench::Measure m;
+  m.work = s.quantile(0.50);
+  m.span = s.quantile(0.95);
+  m.misses = s.quantile(0.99);
+  dopar::bench::record("service_latency", config, n, tag, m);
+  std::printf("%8zu latency %-14s p50 %10llu ns  p95 %10llu ns  "
+              "p99 %10llu ns\n",
+              n, config, (unsigned long long)m.work,
+              (unsigned long long)m.span, (unsigned long long)m.misses);
+}
+
 void run_config(size_t n, size_t depth) {
+  // Metrics gate open for the whole configuration so both the bench-local
+  // naive histograms and the Service's own latency series record.
+  dopar::obs::ScopedEnable metrics(true, false);
+  const dopar::obs::HistSnapshot nb = naive_sort_lat().snapshot();
   const double naive = best_of([&] { return naive_rps(n, depth); });
+  const dopar::obs::HistSnapshot cb = svc_sort_lat().snapshot();
   const double coal = best_of([&] { return coalesced_rps(n, depth); });
   const std::string tag = "q=" + std::to_string(depth);
   dopar::bench::Measure mn, mc;
@@ -182,10 +243,15 @@ void run_config(size_t n, size_t depth) {
   dopar::bench::record("service", "coalesced", n, tag, mc);
   std::printf("%8zu %8zu %14.0f %14.0f %9.2fx\n", n, depth, naive, coal,
               coal / naive);
+  record_latency("naive", n, tag, naive_sort_lat(), nb);
+  record_latency("coalesced", n, tag, svc_sort_lat(), cb);
 }
 
 void run_join_config(size_t n, size_t depth) {
+  dopar::obs::ScopedEnable metrics(true, false);
+  const dopar::obs::HistSnapshot nb = naive_join_lat().snapshot();
   const double naive = best_of([&] { return join_naive_rps(n, depth); });
+  const dopar::obs::HistSnapshot cb = svc_join_lat().snapshot();
   const double coal = best_of([&] { return join_coalesced_rps(n, depth); });
   const std::string tag = "q=" + std::to_string(depth);
   dopar::bench::Measure mn, mc;
@@ -195,6 +261,8 @@ void run_join_config(size_t n, size_t depth) {
   dopar::bench::record("service", "join_coalesced", n, tag, mc);
   std::printf("%8zu %8zu %14.0f %14.0f %9.2fx\n", n, depth, naive, coal,
               coal / naive);
+  record_latency("join_naive", n, tag, naive_join_lat(), nb);
+  record_latency("join_coalesced", n, tag, svc_join_lat(), cb);
 }
 
 }  // namespace

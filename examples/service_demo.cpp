@@ -115,5 +115,33 @@ int main() {
               static_cast<unsigned long long>(groups),
               st.queue_depth_high_water,
               static_cast<unsigned long long>(st.policy_switches), bad);
+
+  // Per-kind end-to-end latency summaries from the obs histograms
+  // (Options::metrics defaults to true).
+  static const char* kKindNames[] = {"sort", "join", "group-by"};
+  for (size_t k = 0; k < dopar::Service::kNumKinds; ++k) {
+    const auto& l = st.kinds[k].latency;
+    std::printf("latency %-8s count %6llu  p50 %8llu ns  p95 %8llu ns  "
+                "p99 %8llu ns  max %8llu ns\n",
+                kKindNames[k], static_cast<unsigned long long>(l.count),
+                static_cast<unsigned long long>(l.p50_ns),
+                static_cast<unsigned long long>(l.p95_ns),
+                static_cast<unsigned long long>(l.p99_ns),
+                static_cast<unsigned long long>(l.max_ns));
+  }
+  std::printf("---- metrics_text() ----\n%s",
+              dopar::Service::metrics_text().c_str());
+
+  // With DOPAR_TRACE set (or Builder::tracing), dump the span rings as
+  // Chrome trace-event JSON — load it in chrome://tracing or Perfetto.
+  if (rt.tracing()) {
+    const char* path = "service_demo_trace.json";
+    if (rt.dump_trace(path)) {
+      std::printf("trace written to %s\n", path);
+    } else {
+      std::printf("trace dump to %s FAILED\n", path);
+      ++bad;
+    }
+  }
   return bad == 0 && st.accepted == kRequests + kJoins + kGroups ? 0 : 1;
 }

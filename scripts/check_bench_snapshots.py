@@ -31,9 +31,11 @@ import sys
 REGRESSION_TOLERANCE = 0.20
 METRICS = ("work", "span", "misses")
 # Sections whose rows are wall-clock timings (bench::record_wall): noisy
-# and machine-dependent by nature, so report-only.
+# and machine-dependent by nature, so report-only. "service_latency"
+# packs p50/p95/p99 ns into work/span/misses; "obs" holds ps/op hook
+# costs — both are wall-clock measurements (see the bench headers).
 WALL_CLOCK_SECTIONS = {"pipelines", "sort_wall", "oswap", "service",
-                       "join_wall"}
+                       "join_wall", "service_latency", "obs"}
 
 
 def load_rows(path):

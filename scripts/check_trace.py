@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Validate a dopar Chrome trace-event JSON dump (Runtime::dump_trace).
+
+Usage:
+    check_trace.py TRACE.json [REQUIRED_PREFIX ...]
+
+Checks that the file parses as JSON, follows the Chrome trace-event
+shape ({"traceEvents": [...]}, each event carrying name/cat/ph/ts/pid/tid,
+'X' events additionally dur >= 0), and — when REQUIRED_PREFIX arguments
+are given — that at least one event name starts with each prefix (e.g.
+`check_trace.py trace.json svc. sched. rel.` asserts the serving,
+scheduler and relational layers all emitted spans).
+
+Exit 0 on success, 1 on any violation. CI runs this against the trace
+service_demo writes under DOPAR_TRACE=1.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}")
+    return 1
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.stderr.write(__doc__)
+        return 2
+    path = sys.argv[1]
+    prefixes = sys.argv[2:]
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{path}: not loadable as JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail(f"{path}: top level must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return fail(f"{path}: 'traceEvents' must be a non-empty array")
+
+    names = set()
+    for i, e in enumerate(events):
+        for field in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if field not in e:
+                return fail(f"{path}: event #{i} missing '{field}': {e}")
+        if e["ph"] not in ("X", "i"):
+            return fail(f"{path}: event #{i} has unknown phase {e['ph']!r}")
+        if e["ph"] == "X" and e.get("dur", -1) < 0:
+            return fail(f"{path}: complete event #{i} lacks dur >= 0")
+        if e["ts"] < 0:
+            return fail(f"{path}: event #{i} has negative ts")
+        names.add(e["name"])
+
+    missing = [p for p in prefixes
+               if not any(n.startswith(p) for n in names)]
+    if missing:
+        return fail(f"{path}: no event from layer prefix(es): "
+                    f"{', '.join(missing)} (have: {', '.join(sorted(names))})")
+
+    print(f"check_trace: OK: {path}: {len(events)} events, "
+          f"{len(names)} distinct names"
+          + (f", layers {' '.join(prefixes)} present" if prefixes else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,6 +88,7 @@
 #include "obl/elem.hpp"
 #include "obl/kernel/kernel.hpp"
 #include "obl/propagate.hpp"
+#include "obs/obs.hpp"
 #include "obl/sendrecv.hpp"
 #include "rel/rel.hpp"
 #include "sched/scheduler.hpp"
@@ -178,6 +179,25 @@ class Runtime {
       trace_ = true;
       return *this;
     }
+    /// Enable the obs span tracer for this Runtime's lifetime (the gate is
+    /// process-wide and refcounted, so several tracing Runtimes nest).
+    /// Spans record into per-thread rings; export with dump_trace(path).
+    /// Also enabled without a rebuild by the DOPAR_TRACE environment
+    /// variable. Orthogonal to the analytic session's .trace() memory
+    /// traces: obs spans are wall-clock only and leave analytic costs and
+    /// trace digests bit-identical.
+    Builder& tracing(bool on = true) {
+      obs_tracing_ = on;
+      return *this;
+    }
+    /// Enable obs metric recording (Registry counters/histograms at every
+    /// instrumented layer) for this Runtime's lifetime. svc::Service
+    /// enables this itself by default; enable here to meter a Runtime
+    /// driven directly. Same non-perturbation contract as tracing().
+    Builder& metrics(bool on = true) {
+      obs_metrics_ = on;
+      return *this;
+    }
 
     Runtime build() const { return Runtime(*this); }
 
@@ -194,6 +214,8 @@ class Runtime {
     uint64_t cache_m_ = 0;
     uint64_t cache_b_ = 64;
     bool trace_ = false;
+    bool obs_tracing_ = false;
+    bool obs_metrics_ = false;
   };
 
   static Builder builder() { return Builder{}; }
@@ -210,6 +232,7 @@ class Runtime {
   void sort(const slice<obl::Elem>& a, const SortOptions& opts = {}) {
     const auto sorter = resolve(opts);
     const uint64_t s = fresh_seed();
+    obs::Span span("rt.sort", "n", a.size());
     with_env([&] {
       core::detail::osort(a, s, opts.variant.value_or(variant_),
                           opts.params.value_or(params_), *sorter);
@@ -233,6 +256,7 @@ class Runtime {
   /// Keys must therefore be < 2^64-1, as everywhere else in the library.
   void backend_sort(const slice<obl::Elem>& a, const SortOptions& opts = {}) {
     const auto sorter = resolve(opts);
+    obs::Span span("rt.backend_sort", "n", a.size());
     with_env([&] {
       const size_t n = a.size();
       if (n <= 1 || util::is_pow2(n)) {
@@ -263,6 +287,7 @@ class Runtime {
                const SortOptions& opts = {}) {
     const auto sorter = resolve(opts);
     const uint64_t s = fresh_seed();
+    obs::Span span("rt.permute", "n", in.size());
     with_env([&] {
       core::detail::orp(in, out, s, opts.params.value_or(params_), *sorter);
     });
@@ -276,6 +301,7 @@ class Runtime {
     if (p.Z == 0) p = core::SortParams::auto_for(in.size());
     const auto sorter = resolve(opts);
     const uint64_t s = fresh_seed();
+    obs::Span span("rt.bin_assign", "n", in.size());
     core::OrbaOutput out;
     with_env([&] { out = core::detail::orba(in, s, p, *sorter); });
     return out;
@@ -288,6 +314,8 @@ class Runtime {
                     const slice<obl::Elem>& results,
                     const SortOptions& opts = {}) {
     const auto sorter = resolve(opts);
+    obs::Span span("rt.send_receive", "sources", sources.size(), "dests",
+                   dests.size());
     with_env([&] {
       obl::detail::send_receive(sources, dests, results, *sorter);
     });
@@ -297,6 +325,7 @@ class Runtime {
   void gather(const slice<uint64_t>& table, const slice<uint64_t>& addrs,
               const slice<uint64_t>& out, const SortOptions& opts = {}) {
     const auto sorter = resolve(opts);
+    obs::Span span("rt.gather", "n", addrs.size());
     with_env([&] { apps::gather(table, addrs, out, *sorter); });
   }
 
@@ -307,6 +336,7 @@ class Runtime {
                    const slice<uint64_t>& live, bool combine_min = false,
                    const SortOptions& opts = {}) {
     const auto sorter = resolve(opts);
+    obs::Span span("rt.scatter_min", "n", addrs.size());
     with_env([&] {
       apps::scatter_min(table, addrs, values, live, *sorter, combine_min);
     });
@@ -326,6 +356,7 @@ class Runtime {
   /// Clobbers Elem::extra (the engine's stability rank lives there).
   void compact(const slice<obl::Elem>& a, const SortOptions& opts = {}) {
     const auto sorter = resolve(opts);
+    obs::Span span("rt.compact", "n", a.size());
     with_env([&] {
       const size_t n = a.size();
       if (n <= 1) return;
@@ -350,6 +381,7 @@ class Runtime {
   /// (payload, aux) from the leftmost record of its key-group. Fixed
   /// access pattern (one segmented scan); any size.
   void propagate(const slice<obl::Elem>& a) {
+    obs::Span span("rt.propagate", "n", a.size());
     with_env([&] { obl::propagate_leftmost(a); });
   }
 
@@ -375,6 +407,7 @@ class Runtime {
     const auto sorter = resolve(opts);
     if (n <= 1) return;
     const uint64_t s = fresh_seed();
+    obs::Span span("rt.sort_records", "n", n);
     std::vector<uint64_t> order(n);
     with_env([&] {
       vec<obl::Elem> keysv(n);
@@ -451,6 +484,7 @@ class Runtime {
     const size_t n = recs.size();
     const auto sorter = resolve(opts.sort);
     const size_t bound = opts.group_bound == 0 ? n : opts.group_bound;
+    obs::Span span("rt.group_by", "n", n, "bound", bound);
     uint64_t total = 0;
     std::vector<obl::Elem> frame(bound);
     with_env([&] {
@@ -523,6 +557,7 @@ class Runtime {
       }
     }
     const auto sorter = resolve(opts);
+    obs::Span span("rt.join_batched", "slots", S, "bound", bound_total);
     // Slot-local row ids, precomputed host-side (public shapes).
     std::vector<uint32_t> lloc(nl_total), rloc(nr_total);
     {
@@ -593,6 +628,7 @@ class Runtime {
       }
     }
     const auto sorter = resolve(opts);
+    obs::Span span("rt.group_by_batched", "slots", S, "bound", bound_total);
     frame.assign(bound_total, obl::Elem::filler());
     std::vector<uint64_t> groups;
     with_env([&] {
@@ -619,6 +655,7 @@ class Runtime {
                                   const SortOptions& opts = {}) {
     const auto sorter = resolve(opts);
     const uint64_t s = fresh_seed();
+    obs::Span span("rt.list_rank", "n", succ.size());
     std::vector<uint64_t> out;
     with_env([&] { out = apps::detail::list_rank(succ, s, *sorter); });
     return out;
@@ -628,6 +665,7 @@ class Runtime {
                                   const SortOptions& opts = {}) {
     const auto sorter = resolve(opts);
     const uint64_t s = fresh_seed();
+    obs::Span span("rt.list_rank", "n", succ.size());
     std::vector<uint64_t> out;
     with_env(
         [&] { out = apps::detail::list_rank(succ, weight, s, *sorter); });
@@ -640,6 +678,7 @@ class Runtime {
                                    const SortOptions& opts = {}) {
     const auto sorter = resolve(opts);
     const uint64_t s = fresh_seed();
+    obs::Span span("rt.euler_tour", "edges", edges.size());
     std::vector<uint64_t> out;
     with_env(
         [&] { out = apps::detail::euler_tour(edges, root, s, *sorter); });
@@ -652,6 +691,7 @@ class Runtime {
                                      const SortOptions& opts = {}) {
     const auto sorter = resolve(opts);
     const uint64_t s = fresh_seed();
+    obs::Span span("rt.tree_functions", "edges", edges.size());
     apps::TreeFunctions out;
     with_env(
         [&] { out = apps::detail::tree_functions(edges, root, s, *sorter); });
@@ -663,6 +703,7 @@ class Runtime {
       size_t n, const std::vector<apps::GEdge>& edges,
       const SortOptions& opts = {}) {
     const auto sorter = resolve(opts);
+    obs::Span span("rt.connected_components", "n", n, "edges", edges.size());
     std::vector<uint64_t> out;
     with_env(
         [&] { out = apps::detail::connected_components(n, edges, *sorter); });
@@ -673,6 +714,7 @@ class Runtime {
   std::vector<uint8_t> msf(size_t n, const std::vector<apps::GEdge>& edges,
                            const SortOptions& opts = {}) {
     const auto sorter = resolve(opts);
+    obs::Span span("rt.msf", "n", n, "edges", edges.size());
     std::vector<uint8_t> out;
     with_env([&] { out = apps::detail::msf(n, edges, *sorter); });
     return out;
@@ -681,6 +723,7 @@ class Runtime {
   /// Oblivious expression-tree evaluation by rake contraction.
   uint64_t tree_eval(const apps::ExprTree& t, const SortOptions& opts = {}) {
     const auto sorter = resolve(opts);
+    obs::Span span("rt.tree_eval", "nodes", t.size());
     uint64_t out = 0;
     with_env([&] { out = apps::detail::tree_eval(t, *sorter); });
     return out;
@@ -714,6 +757,7 @@ class Runtime {
     using R = std::invoke_result_t<F&>;
     const uint64_t ticket =
         jobs_submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+    obs::instant("rt.submit", "ticket", ticket);
     const uint64_t stream =
         util::hash_rand(seed_, kJobStreamTag ^ ticket);
     auto state = std::make_shared<sched::JobState>();
@@ -811,6 +855,20 @@ class Runtime {
   void set_scheduler_policy(sched::SchedPolicy p) {
     if (sched_) sched_->set_policy(p);
   }
+  /// Whether this Runtime holds the obs tracing gate open (builder
+  /// .tracing() or the DOPAR_TRACE environment variable).
+  bool tracing() const { return obs_enable_.tracing(); }
+
+  /// Export every span recorded while tracing was enabled — by this or
+  /// any Runtime/Service in the process, across all threads — as Chrome
+  /// trace-event JSON; load the file in chrome://tracing or Perfetto.
+  /// Best called after the traced work has quiesced (see
+  /// obs::write_chrome_trace). Returns false if the file cannot be
+  /// written.
+  bool dump_trace(const std::string& path) const {
+    return obs::write_chrome_trace(path);
+  }
+
   uint64_t master_seed() const { return seed_; }
   core::SortParams params() const { return params_; }
   core::Variant variant() const { return variant_; }
@@ -856,6 +914,8 @@ class Runtime {
           "output_bound below the default |L|*|R|)");
     }
     uint64_t matched = 0;
+    obs::Span span(banded ? "rt.band_join" : "rt.equi_join", "rows",
+                   nl + nr, "bound", bound);
     std::vector<obl::Elem> frame(bound);
     with_env([&] {
       vec<obl::Elem> lv(nl), rv(nr), outv(bound);
@@ -886,7 +946,9 @@ class Runtime {
   }
 
   explicit Runtime(const Builder& b)
-      : seed_(b.seed_), params_(b.params_), variant_(b.variant_) {
+      : seed_(b.seed_), params_(b.params_), variant_(b.variant_),
+        obs_enable_(b.obs_metrics_,
+                    b.obs_tracing_ || obs::env_trace_requested()) {
     // Resolve the named backend first: an unknown name must throw before
     // any thread/session resource exists. The backend's internal seed is
     // derived from the master seed, so seed-determinism covers it.
@@ -979,6 +1041,9 @@ class Runtime {
   std::atomic<uint64_t> jobs_submitted_{0};
   core::SortParams params_;
   core::Variant variant_;
+  /// Holds the obs gates (Builder::metrics()/tracing(), DOPAR_TRACE) open
+  /// for this Runtime's lifetime.
+  obs::ScopedEnable obs_enable_;
   std::shared_ptr<const SorterBackend> backend_;
   /// Guards the measurement session (instrumented Runtimes execute
   /// serially under it); native execution no longer takes a runtime-wide

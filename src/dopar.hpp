@@ -20,6 +20,7 @@
 #include "core/backend.hpp"
 #include "core/future.hpp"
 #include "core/runtime.hpp"
+#include "obs/obs.hpp"
 #include "rel/rel.hpp"
 #include "svc/service.hpp"
 

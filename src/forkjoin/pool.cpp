@@ -5,6 +5,27 @@
 
 namespace dopar::fj {
 
+namespace {
+// Arena-wide obs counters (summed across workers and pools). Bundled so
+// the registry entries appear together on the first enabled use.
+struct PoolMetrics {
+  obs::Counter& steal_attempts;
+  obs::Counter& steals;
+  obs::Counter& tasks;
+  obs::Counter& busy_ns;
+  obs::Counter& idle_ns;
+};
+PoolMetrics& pm() {
+  static PoolMetrics m{
+      obs::Registry::global().counter("dopar_pool_steal_attempts_total"),
+      obs::Registry::global().counter("dopar_pool_steals_total"),
+      obs::Registry::global().counter("dopar_pool_tasks_total"),
+      obs::Registry::global().counter("dopar_pool_worker_busy_ns_total"),
+      obs::Registry::global().counter("dopar_pool_worker_idle_ns_total")};
+  return m;
+}
+}  // namespace
+
 int& Pool::tls_queue_id() {
   thread_local int id = -1;
   return id;
@@ -125,6 +146,9 @@ Task* Pool::try_pop_local() {
 }
 
 Task* Pool::try_steal(unsigned self) {
+  // One "attempt" per search across the victim queues, not per probe.
+  const bool mon = obs::metrics_on();
+  if (mon) pm().steal_attempts.inc();
   const unsigned n = static_cast<unsigned>(queues_.size());
   const uint32_t my_slice =
       queues_[self]->slice.load(std::memory_order_acquire);
@@ -148,6 +172,7 @@ Task* Pool::try_steal(unsigned self) {
       if (!wq.q.empty()) {
         Task* t = wq.q.front();  // steal from the top: oldest, largest task
         wq.q.pop_front();
+        if (mon) pm().steals.inc();
         return t;
       }
     }
@@ -179,13 +204,31 @@ void Pool::worker_loop(unsigned id) {
   unsigned idle_rounds = 0;
   while (!shutdown_.load(std::memory_order_acquire)) {
     if (Task* t = find_task(id)) {
-      t->run();
+      if (obs::metrics_on()) {
+        const uint64_t t0 = obs::now_ns();
+        t->run();
+        pm().busy_ns.inc(obs::now_ns() - t0);
+        pm().tasks.inc();
+      } else {
+        t->run();
+      }
       idle_rounds = 0;
       continue;
     }
     if (++idle_rounds > 64) {
-      std::unique_lock<std::mutex> lk(sleep_m_);
-      sleep_cv_.wait_for(lk, std::chrono::milliseconds(1));
+      // Only the deep-sleep wait is attributed to idle time; the brief
+      // yield-spin rounds between tasks are left unmeasured (clocking
+      // every spin iteration would perturb the steal path it measures).
+      if (obs::metrics_on()) {
+        const uint64_t t0 = obs::now_ns();
+        std::unique_lock<std::mutex> lk(sleep_m_);
+        sleep_cv_.wait_for(lk, std::chrono::milliseconds(1));
+        lk.unlock();
+        pm().idle_ns.inc(obs::now_ns() - t0);
+      } else {
+        std::unique_lock<std::mutex> lk(sleep_m_);
+        sleep_cv_.wait_for(lk, std::chrono::milliseconds(1));
+      }
       idle_rounds = 0;
     } else {
       std::this_thread::yield();

@@ -32,6 +32,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace dopar::fj {
 
 /// A forked-but-not-yet-joined task. Lives on the forker's stack: fork2
@@ -90,6 +92,7 @@ class Pool {
   /// degraded but correct fallback.
   template <class Root>
   void run(Root&& root) {
+    obs::Span span("pool.run");
     SlotGuard slot(*this, kSharedSlice);
     root();
   }
@@ -242,6 +245,7 @@ class PoolView {
   /// view's external slot. Exactly Pool::run(), scoped to the slice.
   template <class Root>
   void run(Root&& root) {
+    obs::Span span("pool.run", "slice", slice_);
     if (!pool_ || ext_slot_ < 0) {
       root();
       return;

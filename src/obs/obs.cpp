@@ -1,0 +1,328 @@
+// dopar::obs implementation: gate refcounts, the metric registry, the
+// per-thread trace rings and the Chrome trace-event exporter. See
+// obs.hpp for the disabled-mode and non-perturbation contracts.
+
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace dopar::obs {
+
+namespace detail {
+
+std::atomic<uint32_t> g_metrics_refs{0};
+std::atomic<uint32_t> g_tracing_refs{0};
+
+size_t shard_index() {
+  // Round-robin assignment at each thread's first metric touch; cheap
+  // thereafter (one thread_local read).
+  static std::atomic<size_t> next{0};
+  thread_local size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return idx;
+}
+
+}  // namespace detail
+
+bool env_trace_requested() {
+  static const bool requested = [] {
+    const char* v = std::getenv("DOPAR_TRACE");
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+  }();
+  return requested;
+}
+
+// ---- registry ----------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex m;
+  // node-based maps: references handed out stay valid forever.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl i;
+  return i;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.m);
+  auto& slot = im.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.m);
+  auto& slot = im.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.m);
+  auto& slot = im.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string Registry::render_text() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.m);
+  std::string out;
+  char line[192];
+  for (const auto& [name, c] : im.counters) {
+    std::snprintf(line, sizeof(line), "# TYPE %s counter\n%s %llu\n",
+                  name.c_str(), name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += line;
+  }
+  for (const auto& [name, g] : im.gauges) {
+    std::snprintf(line, sizeof(line), "# TYPE %s gauge\n%s %lld\n",
+                  name.c_str(), name.c_str(),
+                  static_cast<long long>(g->value()));
+    out += line;
+  }
+  for (const auto& [name, h] : im.histograms) {
+    const HistSnapshot s = h->snapshot();
+    std::snprintf(line, sizeof(line), "# TYPE %s histogram\n", name.c_str());
+    out += line;
+    uint64_t cum = 0;
+    for (size_t b = 0; b < HistSnapshot::kBuckets; ++b) {
+      cum += s.buckets[b];
+      if (s.buckets[b] == 0 && b + 1 != HistSnapshot::kBuckets) {
+        continue;  // keep the exposition compact: only non-empty buckets
+      }
+      if (b + 1 == HistSnapshot::kBuckets) {
+        std::snprintf(line, sizeof(line), "%s_bucket{le=\"+Inf\"} %llu\n",
+                      name.c_str(), static_cast<unsigned long long>(s.count));
+      } else {
+        std::snprintf(line, sizeof(line), "%s_bucket{le=\"%llu\"} %llu\n",
+                      name.c_str(),
+                      static_cast<unsigned long long>(
+                          HistSnapshot::bucket_bound(b)),
+                      static_cast<unsigned long long>(cum));
+      }
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), "%s_sum %llu\n%s_count %llu\n",
+                  name.c_str(), static_cast<unsigned long long>(s.sum),
+                  name.c_str(), static_cast<unsigned long long>(s.count));
+    out += line;
+  }
+  return out;
+}
+
+void Registry::reset_values() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.m);
+  for (auto& [name, c] : im.counters) c->reset();
+  for (auto& [name, g] : im.gauges) g->reset();
+  for (auto& [name, h] : im.histograms) h->reset();
+}
+
+// ---- trace rings -------------------------------------------------------
+
+namespace {
+
+// Fixed-capacity single-writer event ring. `head` counts every push ever
+// made (wraparound drops the oldest events); readers snapshot the last
+// min(head, capacity) entries. Writers touch only their own ring, so the
+// push path is entirely uncontended.
+struct ThreadRing {
+  std::vector<TraceEvent> ev{std::vector<TraceEvent>(kRingCapacity)};
+  std::atomic<uint64_t> head{0};
+  uint32_t tid = 0;
+
+  void push(const TraceEvent& e) {
+    const uint64_t h = head.load(std::memory_order_relaxed);
+    ev[h % kRingCapacity] = e;
+    ev[h % kRingCapacity].tid = tid;
+    head.store(h + 1, std::memory_order_release);
+  }
+};
+
+struct RingDirectory {
+  std::mutex m;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  uint32_t next_tid = 1;
+
+  static RingDirectory& get() {
+    static RingDirectory* d = new RingDirectory;  // immortal: threads may
+    return *d;                                    // outlive static dtors
+  }
+
+  std::shared_ptr<ThreadRing> make_ring() {
+    auto ring = std::make_shared<ThreadRing>();
+    std::lock_guard<std::mutex> lock(m);
+    ring->tid = next_tid++;
+    rings.push_back(ring);
+    return ring;
+  }
+};
+
+ThreadRing& my_ring() {
+  // shared_ptr keeps the ring alive in the directory after thread exit so
+  // short-lived job workers still appear in the exported trace.
+  thread_local std::shared_ptr<ThreadRing> ring =
+      RingDirectory::get().make_ring();
+  return *ring;
+}
+
+}  // namespace
+
+namespace detail {
+
+void span_record(const TraceEvent& e) { my_ring().push(e); }
+
+void instant_record(const char* name, const char* k0, uint64_t v0) {
+  TraceEvent e;
+  e.name = name;
+  e.k0 = k0;
+  e.v0 = v0;
+  e.t0_ns = now_ns();
+  e.t1_ns = e.t0_ns;
+  e.phase = 'i';
+  my_ring().push(e);
+}
+
+}  // namespace detail
+
+std::vector<TraceEvent> snapshot_trace() {
+  RingDirectory& dir = RingDirectory::get();
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(dir.m);
+    rings = dir.rings;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& ring : rings) {
+    const uint64_t h = ring->head.load(std::memory_order_acquire);
+    const uint64_t n = std::min<uint64_t>(h, kRingCapacity);
+    out.reserve(out.size() + n);
+    for (uint64_t i = h - n; i < h; ++i) {
+      out.push_back(ring->ev[i % kRingCapacity]);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a,
+                                       const TraceEvent& b) {
+    if (a.t0_ns != b.t0_ns) return a.t0_ns < b.t0_ns;
+    return a.t1_ns > b.t1_ns;  // enclosing span first at equal starts
+  });
+  return out;
+}
+
+void reset_trace() {
+  RingDirectory& dir = RingDirectory::get();
+  std::lock_guard<std::mutex> lock(dir.m);
+  for (auto& ring : dir.rings) {
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+namespace {
+
+// Minimal JSON string escaping — event/arg names are C identifiers plus
+// dots in practice, but stay safe for arbitrary literals.
+void append_escaped(std::string& out, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+bool write_chrome_trace(const std::string& path) {
+  const std::vector<TraceEvent> events = snapshot_trace();
+  uint64_t t_base = ~uint64_t{0};
+  for (const TraceEvent& e : events) t_base = std::min(t_base, e.t0_ns);
+  if (events.empty()) t_base = 0;
+
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out += "{\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (e.name == nullptr) continue;  // torn slot from a live writer
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, e.name);
+    // ts/dur are microseconds-with-fraction, rebased so traces start at 0.
+    const uint64_t ts_ns = e.t0_ns - t_base;
+    const uint64_t dur_ns = e.t1_ns >= e.t0_ns ? e.t1_ns - e.t0_ns : 0;
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"dopar\",\"ph\":\"%c\",\"ts\":%llu.%03llu",
+                  e.phase, static_cast<unsigned long long>(ts_ns / 1000),
+                  static_cast<unsigned long long>(ts_ns % 1000));
+    out += buf;
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%llu.%03llu",
+                    static_cast<unsigned long long>(dur_ns / 1000),
+                    static_cast<unsigned long long>(dur_ns % 1000));
+      out += buf;
+    } else {
+      out += ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    std::snprintf(buf, sizeof(buf), ",\"pid\":1,\"tid\":%u",
+                  e.tid);
+    out += buf;
+    if (e.k0 != nullptr || e.k1 != nullptr) {
+      out += ",\"args\":{";
+      if (e.k0 != nullptr) {
+        out += '"';
+        append_escaped(out, e.k0);
+        std::snprintf(buf, sizeof(buf), "\":%llu",
+                      static_cast<unsigned long long>(e.v0));
+        out += buf;
+      }
+      if (e.k1 != nullptr) {
+        if (e.k0 != nullptr) out += ',';
+        out += '"';
+        append_escaped(out, e.k1);
+        std::snprintf(buf, sizeof(buf), "\":%llu",
+                      static_cast<unsigned long long>(e.v1));
+        out += buf;
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  const bool ok = written == out.size() && std::fclose(f) == 0;
+  if (!ok && written != out.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace dopar::obs

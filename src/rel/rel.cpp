@@ -16,6 +16,7 @@
 #include "rel/rel.hpp"
 
 #include <cassert>
+#include <optional>
 
 #include "forkjoin/api.hpp"
 #include "obl/aggregate.hpp"
@@ -25,6 +26,7 @@
 #include "obl/oswap.hpp"
 #include "obl/propagate.hpp"
 #include "obl/route.hpp"
+#include "obs/obs.hpp"
 #include "obl/scan.hpp"
 #include "obl/sendrecv.hpp"
 #include "sim/tracked.hpp"
@@ -223,13 +225,18 @@ uint64_t join_engine(const slice<Elem>& left, const slice<Elem>& right,
 
   // Phase 1 — per-left-row match count and first-match rank.
   vec<uint64_t> cntv(nl), startv(nl);
-  multiplicity_pass(left, right, banded, band, cntv.s(), startv.s(), sorter);
-
-  // Offsets: cnt prefix-summed in left input order fixes each left row's
-  // first output slot; the total is the true output size.
   vec<uint64_t> offv(nl);
-  const uint64_t matched = obl::prefix_sum_exclusive(
-      cntv.s(), offv.s(), [](uint64_t c) { return c; });
+  uint64_t matched = 0;
+  {
+    obs::Span span("rel.multiplicity", "rows", nl + nr);
+    multiplicity_pass(left, right, banded, band, cntv.s(), startv.s(),
+                      sorter);
+
+    // Offsets: cnt prefix-summed in left input order fixes each left
+    // row's first output slot; the total is the true output size.
+    matched = obl::prefix_sum_exclusive(cntv.s(), offv.s(),
+                                        [](uint64_t c) { return c; });
+  }
 
   if (bound == 0) return matched;
 
@@ -248,6 +255,8 @@ uint64_t join_engine(const slice<Elem>& left, const slice<Elem>& right,
   const size_t pd = util::pow2_ceil(nl + 1 + bound);
   vec<Elem> framev(pd);
   const slice<Elem> frame = framev.s();
+  std::optional<obs::Span> phase_span;
+  phase_span.emplace("rel.distribute_expand", "frame", pd);
   kernel::generate_range(
       frame, 0, pd, kernel::Tick::PerElem, [&](Elem& e, size_t i) {
         if (i < nl) {  // source: left row i at its first output slot
@@ -296,6 +305,7 @@ uint64_t join_engine(const slice<Elem>& left, const slice<Elem>& right,
 
   // Phase 3 — ALIGN-CONCAT: route the rank-keyed right rows to the slots
   // requesting them with one oblivious send-receive.
+  phase_span.emplace("rel.align_concat", "bound", bound);
   vec<Elem> srcv(nr), dstv(bound), resv(bound);
   const slice<Elem> src = srcv.s();
   const slice<Elem> dst = dstv.s();
@@ -334,6 +344,7 @@ uint64_t group_by_engine(const slice<Elem>& in, Agg agg,
     kernel::fill_range(out, 0, bound, Elem::filler(), kernel::Tick::None);
     return 0;
   }
+  obs::Span span("rel.group_by", "n", n, "bound", bound);
 
   const size_t pg = util::pow2_ceil(n);
   vec<Elem> gvv(pg);
@@ -775,6 +786,7 @@ std::vector<uint64_t> join_engine_batched(const slice<Elem>& left,
   // either way (see equi_join_fast). Mixed / banded batches run the
   // segmented plan below.
   if (!any_banded) {
+    obs::Span span("rel.equi_fast_batch", "slots", S);
     fj::for_range(0, S, 1, [&](size_t s) {
       matched[s] = equi_join_fast(left.sub(lbase[s], slots[s].nl),
                                   right.sub(rbase[s], slots[s].nr),
@@ -782,6 +794,7 @@ std::vector<uint64_t> join_engine_batched(const slice<Elem>& left,
     });
     return matched;
   }
+  std::optional<obs::Span> phase_span;
 
   // Rank the right tables by (composite key, input index): slot-major
   // padded segments, each in the solo (key, index) rank order.
@@ -811,6 +824,7 @@ std::vector<uint64_t> join_engine_batched(const slice<Elem>& left,
   // within every (key, tag) tie group the targets are monotone in the
   // solo row index, so each segment sorts exactly as the per-slot solo
   // unions do.
+  phase_span.emplace("rel.multiplicity", "rows", NL + NR);
   const size_t PU = pubase[S];
   const std::vector<uint32_t> puslot = slot_map(pubase);
   vec<Elem> unionv(PU);
@@ -930,6 +944,7 @@ std::vector<uint64_t> join_engine_batched(const slice<Elem>& left,
   // zero-offset source or the terminator) and dead records sink within
   // their own segment, so propagation runs never cross slot or padding
   // boundaries.
+  phase_span.emplace("rel.distribute_expand", "frame", pfbase[S]);
   const size_t PF = pfbase[S];
   const std::vector<uint32_t> pfslot = slot_map(pfbase);
   vec<Elem> framev(PF);
@@ -991,6 +1006,7 @@ std::vector<uint64_t> join_engine_batched(const slice<Elem>& left,
   // ALIGN-CONCAT: per-slot send-receives — each identical to the solo
   // call — route every slot's rank-keyed right rows to the frame slots
   // requesting them, concurrently across slots.
+  phase_span.emplace("rel.align_concat", "bound", B);
   vec<Elem> resv(B);
   const slice<Elem> res = resv.s();
   fj::for_range(0, S, 1, [&](size_t s) {
@@ -1054,6 +1070,7 @@ std::vector<uint64_t> group_by_engine_batched(
     kernel::fill_range(out, 0, B, Elem::filler(), kernel::Tick::None);
     return groups;
   }
+  obs::Span span("rel.group_by_batch", "slots", S, "rows", N);
 
   // Shared grouping sort on per-slot padded segments of composite keys:
   // slot s's rows land at the public positions [pgbase[s], pgbase[s] +

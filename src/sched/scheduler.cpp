@@ -11,6 +11,21 @@ uint64_t next_scheduler_id() {
   static std::atomic<uint64_t> n{0};
   return n.fetch_add(1, std::memory_order_relaxed) + 1;
 }
+
+// How long submitted jobs sit queued before a job worker picks them up.
+// Lazily registered: the registry entry only exists once metrics have
+// actually been on at an enqueue.
+obs::Histogram& queue_wait_ns_hist() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("dopar_sched_job_queue_wait_ns");
+  return h;
+}
+
+obs::Counter& jobs_total() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("dopar_sched_jobs_total");
+  return c;
+}
 }  // namespace
 
 Scheduler::Scheduler(unsigned threads, SchedPolicy policy,
@@ -114,7 +129,8 @@ void Scheduler::enqueue(std::function<void()> job,
     if (jobs_closed_) {
       throw std::logic_error("Runtime::submit: runtime is shutting down");
     }
-    jobs_.emplace_back(std::move(job), std::move(state));
+    jobs_.push_back(QueuedJob{std::move(job), std::move(state),
+                              obs::metrics_on() ? obs::now_ns() : 0});
     // Lazily grow the job-worker set while jobs outnumber workers
     // (capped): a Runtime that never submits pays nothing.
     if (job_threads_.size() < max_job_workers_ &&
@@ -144,7 +160,8 @@ void Scheduler::job_loop() {
   for (;;) {
     jobs_cv_.wait(lk, [&] { return jobs_closed_ || !jobs_.empty(); });
     if (jobs_.empty()) break;  // only when closed
-    auto [job, state] = std::move(jobs_.front());
+    QueuedJob qj = std::move(jobs_.front());
+    auto& [job, state, enq_ns] = qj;
     jobs_.pop_front();
     ++running_jobs_;
     // Mark kRunning while still holding jobs_m_: dequeue order is the
@@ -155,7 +172,15 @@ void Scheduler::job_loop() {
     // window.
     state->phase.store(JobState::kRunning, std::memory_order_release);
     lk.unlock();
-    job();  // packaged_task: exceptions land in the future
+    // enq_ns == 0: metrics were off at enqueue — no wait to attribute.
+    if (enq_ns != 0) {
+      queue_wait_ns_hist().observe(obs::now_ns() - enq_ns);
+      jobs_total().inc();
+    }
+    {
+      obs::Span span("sched.job");
+      job();  // packaged_task: exceptions land in the future
+    }
     state->phase.store(JobState::kFinished, std::memory_order_release);
     lk.lock();
     --running_jobs_;

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "forkjoin/pool.hpp"
+#include "obs/obs.hpp"
 #include "sched/job.hpp"
 
 namespace dopar::sched {
@@ -107,6 +108,9 @@ class Scheduler {
     // Sample once: a concurrent set_policy must not switch paths mid-call
     // (the Exclusive path must unlock the mutex it locked).
     const SchedPolicy p = policy_.load(std::memory_order_acquire);
+    // Spans the whole admission: Exclusive-mutex wait and lease
+    // acquisition both show up as the gap before the nested pool.run span.
+    obs::Span span("sched.primitive", "policy", static_cast<uint64_t>(p));
     if (p == SchedPolicy::Exclusive) {
       std::lock_guard<std::mutex> lk(exec_m_);
       if (pool_) {
@@ -147,16 +151,34 @@ class Scheduler {
   /// each); on release the workers flow back to the remaining leases.
   class Lease {
    public:
-    explicit Lease(Scheduler& s) : sched_(s), view_(s.lease_acquire()) {}
-    ~Lease() { sched_.lease_release(view_.slice()); }
+    explicit Lease(Scheduler& s)
+        : t0_(obs::metrics_on() ? obs::now_ns() : 0),
+          sched_(s),
+          view_(s.lease_acquire()) {}
+    ~Lease() {
+      sched_.lease_release(view_.slice());
+      // t0_ == 0: metrics were off at acquisition — skip rather than
+      // record a nonsense lifetime if they flipped on mid-lease.
+      if (t0_ != 0) lease_lifetime_ns_hist().observe(obs::now_ns() - t0_);
+    }
     fj::PoolView& view() { return view_; }
     Lease(const Lease&) = delete;
     Lease& operator=(const Lease&) = delete;
 
    private:
+    obs::Span span_{"sched.lease"};  ///< declared first: covers release
+    uint64_t t0_;
     Scheduler& sched_;
     fj::PoolView view_;
   };
+
+  /// Lifetimes of slice leases (acquire → release), ns. Function-local
+  /// static so the registry entry is only created on first enabled use.
+  static obs::Histogram& lease_lifetime_ns_hist() {
+    static obs::Histogram& h =
+        obs::Registry::global().histogram("dopar_sched_lease_lifetime_ns");
+    return h;
+  }
 
   fj::PoolView lease_acquire();
   void lease_release(uint32_t slice);
@@ -181,10 +203,14 @@ class Scheduler {
   uint32_t next_slice_ = fj::Pool::kSharedSlice + 1;
 
   // Job queue + bounded lazily-spawned job workers.
+  struct QueuedJob {
+    std::function<void()> fn;
+    std::shared_ptr<JobState> state;
+    uint64_t enq_ns;  ///< obs enqueue stamp; 0 when metrics were off
+  };
   std::mutex jobs_m_;
   std::condition_variable jobs_cv_;
-  std::deque<std::pair<std::function<void()>, std::shared_ptr<JobState>>>
-      jobs_;
+  std::deque<QueuedJob> jobs_;
   std::vector<std::thread> job_threads_;
   size_t running_jobs_ = 0;
   bool jobs_closed_ = false;

@@ -30,12 +30,53 @@ bool keys_coalescible(const std::vector<uint64_t>& keys) {
   return std::all_of(keys.begin(), keys.end(),
                      [](uint64_t k) { return coalescible_key(k); });
 }
+
+// Serving-layer obs series. Function-local statics: the registry entries
+// only exist once metrics have actually been on at a hook site.
+
+/// End-to-end request latency (admission to Future-ready) per kind.
+obs::Histogram& lat_hist(size_t kind) {
+  static const std::array<obs::Histogram*, Service::kNumKinds> h = {
+      &obs::Registry::global().histogram("dopar_svc_latency_ns_sort"),
+      &obs::Registry::global().histogram("dopar_svc_latency_ns_join"),
+      &obs::Registry::global().histogram("dopar_svc_latency_ns_groupby")};
+  return *h[kind];
+}
+
+/// How long carved requests sat in the coalescing window (admission to
+/// carve — the latency cost of waiting for batch-mates).
+obs::Histogram& window_wait_ns_hist() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("dopar_svc_window_wait_ns");
+  return h;
+}
+
+/// Requests per dispatched batch (1 = solo; higher = coalescing working).
+obs::Histogram& batch_occupancy_hist() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("dopar_svc_batch_occupancy");
+  return h;
+}
+
+obs::Counter& policy_switches_total() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("dopar_svc_policy_switches_total");
+  return c;
+}
 }  // namespace
 
 Service::Service(Runtime& rt, Options opts)
     : rt_(rt),
       opts_(std::move(opts)),
-      governor_(opts_.governor, rt.scheduler_policy()) {
+      governor_(opts_.governor, rt.scheduler_policy()),
+      obs_enable_(opts_.metrics, /*tracing=*/false) {
+  // Baseline the latency histograms so stats() reports only THIS
+  // Service's observations (the registry outlives any one Service).
+  if (obs::metrics_on()) {
+    for (size_t k = 0; k < kNumKinds; ++k) {
+      lat_base_[k] = lat_hist(k).snapshot();
+    }
+  }
   if (opts_.max_batch_requests == 0) opts_.max_batch_requests = 1;
   if (opts_.max_batch_requests > kMaxBatchSlots) {
     opts_.max_batch_requests = kMaxBatchSlots;  // slot-tag capacity
@@ -247,7 +288,19 @@ void Service::flush() {
 
 Service::Stats Service::stats() const {
   std::lock_guard<std::mutex> lk(m_);
-  return stats_;
+  Stats out = stats_;
+  if (obs::metrics_on()) {
+    for (size_t k = 0; k < kNumKinds; ++k) {
+      const obs::HistSnapshot s = lat_hist(k).snapshot().since(lat_base_[k]);
+      LatencySummary& l = out.kinds[k].latency;
+      l.count = s.count;
+      l.p50_ns = s.quantile(0.50);
+      l.p95_ns = s.quantile(0.95);
+      l.p99_ns = s.quantile(0.99);
+      l.max_ns = s.max;
+    }
+  }
+  return out;
 }
 
 size_t Service::queue_depth() const {
@@ -454,9 +507,23 @@ bool Service::ripe_locked() const {
 }
 
 std::shared_ptr<Service::Batch> Service::carve_locked() {
+  // Window wait (admission -> carve) is attributed at carve time so solo
+  // and coalesced requests are measured identically.
+  const bool mon = obs::metrics_on();
+  const auto carve_now =
+      mon ? std::chrono::steady_clock::now()
+          : std::chrono::steady_clock::time_point{};
+  const auto observe_wait = [&](const PendingReq& r) {
+    if (!mon) return;
+    window_wait_ns_hist().observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(carve_now -
+                                                             r.enqueued)
+            .count()));
+  };
   auto b = std::make_shared<Batch>();
   b->kind = queue_.front().kind;
   if (!queue_.front().coalescible) {
+    observe_wait(queue_.front());
     b->reqs.push_back(std::move(queue_.front()));
     queue_.pop_front();
   } else {
@@ -482,6 +549,7 @@ std::shared_ptr<Service::Batch> Service::carve_locked() {
       elems += it->footprint;
       coal_elems_[k] -= it->footprint;
       --coal_count_[k];
+      observe_wait(*it);
       b->reqs.push_back(std::move(*it));
       it = queue_.erase(it);
     }
@@ -534,6 +602,7 @@ void Service::dispatcher_loop() {
       ++ks.solo_requests;
     }
     ++stats_.batch_size_hist[hist_bucket(m)];
+    if (obs::metrics_on()) batch_occupancy_hist().observe(m);
     stats_.inflight_high_water =
         std::max(stats_.inflight_high_water, inflight_);
     governor_observe_locked();
@@ -551,6 +620,8 @@ void Service::dispatcher_loop() {
 }
 
 void Service::run_batch(Batch& b) {
+  obs::Span span("svc.batch", "kind", static_cast<uint64_t>(b.kind),
+                 "requests", b.reqs.size());
   try {
     switch (b.kind) {
       case Kind::Sort:
@@ -681,6 +752,7 @@ void Service::run_coalesced_join(Batch& b) {
     off += r.bound;
     r.finish_join(std::move(res), nullptr);
     ++b.done;
+    observe_latency(r);
   }
 }
 
@@ -700,6 +772,7 @@ void Service::run_solo_join(Batch& b) {
                                jo);
   r.finish_join(std::move(res), nullptr);
   ++b.done;
+  observe_latency(r);
 }
 
 void Service::run_coalesced_group(Batch& b) {
@@ -736,6 +809,7 @@ void Service::run_coalesced_group(Batch& b) {
     off += r.bound;
     r.finish_group(std::move(res), nullptr);
     ++b.done;
+    observe_latency(r);
   }
 }
 
@@ -752,6 +826,7 @@ void Service::run_solo_group(Batch& b) {
       [&](uint32_t i) { return r.keys2[i]; }, r.agg, go);
   r.finish_group(std::move(res), nullptr);
   ++b.done;
+  observe_latency(r);
 }
 
 void Service::complete(Batch& b, PendingReq& r, std::vector<uint64_t> keys,
@@ -762,6 +837,17 @@ void Service::complete(Batch& b, PendingReq& r, std::vector<uint64_t> keys,
   normalize_ties(keys, order, r.stream);
   r.finish(std::move(keys), std::move(order), nullptr);
   ++b.done;
+  observe_latency(r);
+}
+
+void Service::observe_latency(const PendingReq& r) const {
+  // Admission -> Future-ready, observed after the promise is fulfilled.
+  // Inline-completed empty requests never reach here (no admission stamp).
+  if (!obs::metrics_on()) return;
+  const auto dt = std::chrono::steady_clock::now() - r.enqueued;
+  lat_hist(size_t(r.kind))
+      .observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
 }
 
 void Service::governor_observe_locked() {
@@ -771,6 +857,9 @@ void Service::governor_observe_locked() {
   if (governor_.observe_actual(queue_.size(), inflight_,
                                rt_.scheduler_policy())) {
     ++stats_.policy_switches;
+    if (obs::metrics_on()) policy_switches_total().inc();
+    obs::instant("svc.policy_switch", "policy",
+                 static_cast<uint64_t>(governor_.current()));
     rt_.set_scheduler_policy(governor_.current());
   }
 }

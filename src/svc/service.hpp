@@ -78,6 +78,7 @@
 
 #include "core/future.hpp"
 #include "core/runtime.hpp"
+#include "obs/obs.hpp"
 #include "rel/rel.hpp"
 #include "svc/coalesce.hpp"
 #include "svc/governor.hpp"
@@ -118,6 +119,11 @@ struct Options {
   /// configured backend). Must name a registered backend; comparator
   /// networks are the intended choices. Results never depend on it.
   std::string batch_backend{};
+  /// Hold the obs metrics gate open for the Service's lifetime, so the
+  /// per-kind latency / window-wait / occupancy histograms (and the
+  /// scheduler- and pool-level series underneath) record while serving.
+  /// Stats::kinds[].latency and metrics_text() are empty when false.
+  bool metrics = true;
 };
 
 class Service {
@@ -128,6 +134,18 @@ class Service {
   enum class Kind : uint8_t { Sort = 0, Join = 1, GroupBy = 2 };
   static constexpr size_t kNumKinds = 3;
 
+  /// End-to-end latency summary of one request kind (admission to
+  /// Future-ready), derived from this Service's slice of the obs latency
+  /// histogram (log2 buckets: quantiles are bucket upper bounds clamped
+  /// to the exact max). All zeros when Options::metrics is false.
+  struct LatencySummary {
+    uint64_t count = 0;   ///< completed requests measured
+    uint64_t p50_ns = 0;
+    uint64_t p95_ns = 0;
+    uint64_t p99_ns = 0;
+    uint64_t max_ns = 0;
+  };
+
   /// Per-kind slice of the batch counters.
   struct KindStats {
     uint64_t accepted = 0;           ///< requests admitted (inline incl.)
@@ -135,6 +153,7 @@ class Service {
     uint64_t solo_batches = 0;       ///< batches of exactly one request
     uint64_t coalesced_requests = 0; ///< requests served in >= 2-batches
     uint64_t solo_requests = 0;      ///< requests served alone
+    LatencySummary latency{};        ///< enqueue -> Future-ready, this kind
   };
 
   /// Monotonic counters, snapshot via stats().
@@ -263,6 +282,13 @@ class Service {
   size_t queue_depth() const;
   const Options& options() const { return opts_; }
 
+  /// Prometheus-style text exposition of every obs metric registered in
+  /// the process (the Service's dopar_svc_* series plus whatever the
+  /// scheduler/pool layers recorded while the metrics gate was open).
+  static std::string metrics_text() {
+    return obs::Registry::global().render_text();
+  }
+
  private:
   /// Completion callback of one sort request: (sorted keys, original-index
   /// permutation, error). Exactly one of {results, error} is meaningful.
@@ -336,10 +362,19 @@ class Service {
   void complete(Batch& b, PendingReq& r, std::vector<uint64_t> keys,
                 std::vector<uint32_t> order);
   void governor_observe_locked();
+  /// Record one finished request's enqueue->ready latency (metrics-gated).
+  void observe_latency(const PendingReq& r) const;
 
   Runtime& rt_;
   Options opts_;
   Governor governor_;
+  /// Holds the obs metrics gate open while the Service lives
+  /// (Options::metrics; tracing stays governed by the Runtime).
+  obs::ScopedEnable obs_enable_;
+  /// Registry baselines captured at construction: stats() reports this
+  /// Service's latency slice as snapshot-minus-baseline, so a second
+  /// Service (or an earlier one in the same process) doesn't bleed in.
+  std::array<obs::HistSnapshot, kNumKinds> lat_base_{};
 
   mutable std::mutex m_;
   std::condition_variable cv_work_;   ///< dispatcher: work/capacity/stop
